@@ -1,0 +1,197 @@
+// Benchmarks regenerating the paper's evaluation. Each benchmark corresponds
+// to one figure or table (see DESIGN.md's experiment index); the interesting
+// numbers are the reported custom metrics — simulated cycles (the quantity
+// Figs. 6 and 7 plot) and message counts (footnote 3) — not the wall-clock
+// ns/op of the simulator itself.
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"procdecomp/internal/bench"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/wavefront"
+)
+
+// benchN is the paper's grid size.
+const benchN = 128
+
+// figureProcs is the processor sweep of Figs. 6 and 7.
+var figureProcs = []int{2, 4, 8, 16, 32}
+
+func runPoint(b *testing.B, v bench.Variant, procs int, n, blk int64) {
+	b.Helper()
+	var pt *bench.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pt, err = bench.RunGS(v, procs, n, blk)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pt.Makespan), "simcycles")
+	b.ReportMetric(float64(pt.Messages), "messages")
+}
+
+// BenchmarkFig6 regenerates Figure 6 ("Effect of Compile-time and Run-time
+// Resolution"): run-time resolution, compile-time resolution, Optimized I,
+// Optimized III, and the handwritten program across the processor sweep.
+func BenchmarkFig6(b *testing.B) {
+	for _, v := range []bench.Variant{bench.RunTime, bench.CompileTime, bench.OptimizedI, bench.OptimizedIII, bench.Handwritten} {
+		for _, procs := range figureProcs {
+			b.Run(fmt.Sprintf("%s/S=%d", shortName(v), procs), func(b *testing.B) {
+				runPoint(b, v, procs, benchN, bench.DefaultBlk)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 ("Effect of Message-Passing
+// Optimizations"): the optimization staircase against the handwritten code.
+func BenchmarkFig7(b *testing.B) {
+	for _, v := range []bench.Variant{bench.OptimizedI, bench.OptimizedII, bench.OptimizedIII, bench.Handwritten} {
+		for _, procs := range figureProcs {
+			b.Run(fmt.Sprintf("%s/S=%d", shortName(v), procs), func(b *testing.B) {
+				runPoint(b, v, procs, benchN, bench.DefaultBlk)
+			})
+		}
+	}
+}
+
+// BenchmarkFootnote3 regenerates the message-count comparison: 31,752
+// messages for run-time resolution versus 2,142 for the handwritten program
+// on the 128x128 grid.
+func BenchmarkFootnote3(b *testing.B) {
+	for _, v := range []bench.Variant{bench.RunTime, bench.Handwritten} {
+		b.Run(shortName(v), func(b *testing.B) {
+			runPoint(b, v, 8, benchN, bench.DefaultBlk)
+		})
+	}
+}
+
+// BenchmarkBlockSize regenerates the §4 block-size trade-off for Optimized
+// III: "the block size is a compromise between decreasing the number of
+// messages and exploiting parallelism", and the best block size depends on
+// the matrix size.
+func BenchmarkBlockSize(b *testing.B) {
+	for _, n := range []int64{64, 128, 256} {
+		for _, blk := range []int64{1, 4, 8, 16, 32} {
+			b.Run(fmt.Sprintf("N=%d/blk=%d", n, blk), func(b *testing.B) {
+				runPoint(b, bench.OptimizedIII, 8, n, blk)
+			})
+		}
+	}
+}
+
+// BenchmarkHandwrittenScaling measures the Fig. 3 program alone across the
+// machine sizes, the baseline curve both figures share.
+func BenchmarkHandwrittenScaling(b *testing.B) {
+	input := bench.Input(benchN)
+	for _, procs := range figureProcs {
+		b.Run(fmt.Sprintf("S=%d", procs), func(b *testing.B) {
+			var res *wavefront.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wavefront.Run(machine.DefaultConfig(procs), benchN, bench.DefaultBlk, input)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Makespan), "simcycles")
+			b.ReportMetric(float64(res.Stats.Messages), "messages")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the substrate itself: how fast the
+// deterministic virtual-time machine moves messages (a sanity check that the
+// experiments above measure the model, not simulator overhead).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const procs = 8
+	const msgs = 1000
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.DefaultConfig(procs))
+		err := m.Run(func(p *machine.Proc) {
+			next := (p.ID() + 1) % procs
+			prev := (p.ID() + procs - 1) % procs
+			for k := 0; k < msgs; k++ {
+				p.Send(next, 1, float64(k))
+				p.Recv(prev, 1)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(procs*msgs), "msgs/op")
+}
+
+// BenchmarkGather measures result reassembly, the harness's own overhead.
+func BenchmarkGather(b *testing.B) {
+	in := bench.Input(benchN)
+	for i := 0; i < b.N; i++ {
+		res, err := wavefront.Run(machine.DefaultConfig(8), benchN, bench.DefaultBlk, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.New.Read(2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func shortName(v bench.Variant) string {
+	switch v {
+	case bench.RunTime:
+		return "RTR"
+	case bench.CompileTime:
+		return "CTR"
+	case bench.OptimizedI:
+		return "OptI"
+	case bench.OptimizedII:
+		return "OptII"
+	case bench.OptimizedIII:
+		return "OptIII"
+	case bench.Handwritten:
+		return "Hand"
+	}
+	return "?"
+}
+
+// BenchmarkMultiplex measures the §5.4 latency-hiding experiment: virtual
+// processes co-scheduled on 4 physical nodes (Optimized III, 64x64 grid).
+func BenchmarkMultiplex(b *testing.B) {
+	const n, blk = 64, 8
+	cases := []struct {
+		name   string
+		vprocs int
+		factor int
+	}{
+		{"direct-4", 4, 0},
+		{"cyclic-8on4", 8, 2},
+		{"cyclic-16on4", 16, 4},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := machine.DefaultConfig(tc.vprocs)
+			if tc.factor > 0 {
+				cfg.Placement = make([]int, tc.vprocs)
+				for i := range cfg.Placement {
+					cfg.Placement[i] = i % 4
+				}
+			}
+			var mk uint64
+			for i := 0; i < b.N; i++ {
+				pt, err := bench.RunGSWith(cfg, bench.OptimizedIII, n, blk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = pt.Makespan
+			}
+			b.ReportMetric(float64(mk), "simcycles")
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Command pdbench regenerates the paper's evaluation: Fig. 6 (effect of
+// compile-time and run-time resolution), Fig. 7 (effect of message-passing
+// optimizations), the footnote-3 message counts, the §4 block-size sweep,
+// and the §4 loop-interchange ablation.
+//
+// Usage:
+//
+//	pdbench                 # everything at paper scale (N=128)
+//	pdbench -fig 6 -n 64    # one figure at another grid size
+//	pdbench -procs 2,4,8
+//
+// Every measured run is validated against the sequential reference
+// interpreter before its numbers are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"procdecomp/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | all")
+		n       = flag.Int64("n", 128, "grid size N (the paper uses 128)")
+		blk     = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
+		procsCS = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
+	)
+	flag.Parse()
+
+	procs := bench.DefaultProcs
+	if *procsCS != "" {
+		var err error
+		procs, err = parseProcs(*procsCS)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	run := func(name string, f func() (*bench.Series, error)) {
+		s, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(s.Format())
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("6") {
+		run("figure 6", func() (*bench.Series, error) { return bench.Figure6(*n, procs, *blk) })
+	}
+	if want("7") {
+		run("figure 7", func() (*bench.Series, error) { return bench.Figure7(*n, procs, *blk) })
+	}
+	if want("messages") {
+		p := 8
+		for _, q := range procs {
+			if q > 1 {
+				p = q
+				break
+			}
+		}
+		run("message counts", func() (*bench.Series, error) { return bench.MessageTable(*n, p, *blk) })
+	}
+	if want("blocksize") {
+		ns := []int64{*n / 2, *n, *n * 2}
+		blks := []int64{1, 2, 4, 8, 16, 32, 63}
+		run("block-size sweep", func() (*bench.Series, error) { return bench.BlockSizeSweep(ns, blks, 8) })
+	}
+	if want("interchange") {
+		run("interchange", func() (*bench.Series, error) { return bench.InterchangeAblation(*n, 8, *blk) })
+	}
+	if want("sharedmem") {
+		run("shared memory", func() (*bench.Series, error) { return bench.SharedMemoryAblation(*n, 8, *blk) })
+	}
+	if want("utilization") {
+		run("utilization", func() (*bench.Series, error) { return bench.UtilizationTable(*n, 8, *blk) })
+	}
+	if want("balance") {
+		run("load balance", func() (*bench.Series, error) { return bench.LoadBalanceTable(8) })
+	}
+	if want("multiplex") {
+		// The conservative co-scheduler is slower to simulate; half the grid
+		// keeps the full sweep quick.
+		run("multiplexing", func() (*bench.Series, error) { return bench.MultiplexTable(4, *n/2, *blk) })
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbench:", err)
+	os.Exit(1)
+}

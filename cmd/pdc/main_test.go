@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"procdecomp/internal/lang"
+	"procdecomp/internal/sem"
+)
+
+func TestDefineFlag(t *testing.T) {
+	var d defineFlag
+	if err := d.Set("N=64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("S=4"); err != nil {
+		t.Fatal(err)
+	}
+	if d.vals["N"] != 64 || d.vals["S"] != 4 {
+		t.Errorf("vals = %v", d.vals)
+	}
+	if err := d.Set("noequals"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if err := d.Set("N=abc"); err == nil {
+		t.Error("non-integer value should fail")
+	}
+	if d.String() == "" {
+		t.Error("String should describe the flags")
+	}
+}
+
+func TestPickEntry(t *testing.T) {
+	src := `
+proc helper(x: int): int { return x; }
+proc top() { let y = helper(3); }
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: 2})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if got := pickEntry(info, ""); got != "top" {
+		t.Errorf("pickEntry = %q, want top (the uncalled procedure)", got)
+	}
+	if got := pickEntry(info, "helper"); got != "helper" {
+		t.Errorf("explicit entry not honoured: %q", got)
+	}
+}
+
+func TestPickEntryPrefersMain(t *testing.T) {
+	src := `
+proc main() { }
+proc other() { }
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: 2})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if got := pickEntry(info, ""); got != "main" {
+		t.Errorf("pickEntry = %q, want main", got)
+	}
+}

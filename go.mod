@@ -1,0 +1,3 @@
+module procdecomp
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package bench is the experiment harness that regenerates every figure and
+// table of the paper's evaluation (§4, Figs. 6 and 7, footnote 3) plus the
+// ablations the text discusses (block-size choice, loop interchange). Each
+// experiment compiles the Gauss-Seidel program of Fig. 1 under one of the
+// code-generation variants, runs it on the simulated iPSC/2-like machine,
+// and reports simulated execution time (makespan) and message statistics.
+package bench
+
+import (
+	"fmt"
+
+	"procdecomp/internal/core"
+	"procdecomp/internal/exec"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/sem"
+	"procdecomp/internal/spmd"
+	"procdecomp/internal/wavefront"
+	"procdecomp/internal/xform"
+)
+
+// GSSource is the Gauss-Seidel program of the paper's Fig. 1, in Idn. The
+// grid size N is overridden per experiment.
+const GSSource = `
+-- Gauss-Seidel relaxation in normal order (paper Fig. 1), columns wrapped
+-- around the machine's ring of processors (§2.3).
+const N = 128;
+const c = 0.25;
+
+dist Column = cyclic_cols(NPROCS);
+
+proc init_boundary(New: matrix[N, N] on Column) {
+  for j = 1 to N {
+    New[1, j] = 1.0;
+    New[N, j] = 1.0;
+  }
+  for i = 2 to N - 1 {
+    New[i, 1] = 1.0;
+    New[i, N] = 1.0;
+  }
+}
+
+proc gs_iteration(Old: matrix[N, N] on Column): matrix[N, N] on Column {
+  let New = matrix(N, N) on Column;
+  call init_boundary(New);
+  for j = 2 to N - 1 {
+    for i = 2 to N - 1 {
+      New[i, j] = c * (New[i - 1, j] + New[i, j - 1] + Old[i + 1, j] + Old[i, j + 1]);
+    }
+  }
+  return New;
+}
+`
+
+// GSReversedSource is the §4 interchange scenario: the same computation with
+// the i and j loops reversed, which hides the wavefront from the
+// column-oriented pipeline.
+const GSReversedSource = `
+const N = 128;
+const c = 0.25;
+
+dist Column = cyclic_cols(NPROCS);
+
+proc init_boundary(New: matrix[N, N] on Column) {
+  for j = 1 to N {
+    New[1, j] = 1.0;
+    New[N, j] = 1.0;
+  }
+  for i = 2 to N - 1 {
+    New[i, 1] = 1.0;
+    New[i, N] = 1.0;
+  }
+}
+
+proc gs_iteration(Old: matrix[N, N] on Column): matrix[N, N] on Column {
+  let New = matrix(N, N) on Column;
+  call init_boundary(New);
+  for i = 2 to N - 1 {
+    for j = 2 to N - 1 {
+      New[i, j] = c * (New[i - 1, j] + New[i, j - 1] + Old[i + 1, j] + Old[i, j + 1]);
+    }
+  }
+  return New;
+}
+`
+
+// Variant selects the code-generation strategy under measurement.
+type Variant int
+
+// The six curves of Figs. 6 and 7.
+const (
+	RunTime      Variant = iota // §3.1 run-time resolution
+	CompileTime                 // §3.2 compile-time resolution
+	OptimizedI                  // + vectorized old-column messages (A.2)
+	OptimizedII                 // + loop jamming / pipelining (A.3)
+	OptimizedIII                // + strip-mined blocks (A.4)
+	Handwritten                 // the Fig. 3 program
+)
+
+func (v Variant) String() string {
+	switch v {
+	case RunTime:
+		return "run-time resolution"
+	case CompileTime:
+		return "compile-time resolution"
+	case OptimizedI:
+		return "optimized I (vectorized)"
+	case OptimizedII:
+		return "optimized II (pipelined)"
+	case OptimizedIII:
+		return "optimized III (blocked)"
+	case Handwritten:
+		return "handwritten"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// AllVariants lists every curve in presentation order.
+var AllVariants = []Variant{RunTime, CompileTime, OptimizedI, OptimizedII, OptimizedIII, Handwritten}
+
+// Point is one measurement.
+type Point struct {
+	Variant  Variant
+	Procs    int
+	N        int64
+	BlkSize  int64
+	Makespan machine.Cost
+	Messages int64
+	Values   int64
+	Bytes    int64
+}
+
+// Input builds the deterministic Old matrix used by every experiment.
+func Input(n int64) *istruct.Matrix {
+	m, err := istruct.NewMatrix("Old", n, n)
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			if err := m.Write(i, j, float64((i*31+j*17)%29)+0.5); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return m
+}
+
+// checkGS parses and checks a Gauss-Seidel source for a machine size and
+// grid size.
+func checkGS(src string, procs int, n int64) (*sem.Info, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: int64(procs), Defines: map[string]int64{"N": n}})
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return info, nil
+}
+
+// CompileGS compiles the Fig. 1 program under a variant. For Handwritten it
+// returns nil (RunGS dispatches to the wavefront package instead).
+func CompileGS(v Variant, procs int, n, blk int64) ([]*spmd.Program, error) {
+	if v == Handwritten {
+		return nil, nil
+	}
+	info, err := checkGS(GSSource, procs, n)
+	if err != nil {
+		return nil, err
+	}
+	comp := core.New(info)
+	if v == RunTime {
+		generic, err := comp.CompileRTR("gs_iteration")
+		if err != nil {
+			return nil, err
+		}
+		return []*spmd.Program{generic}, nil
+	}
+	progs, err := comp.CompileCTR("gs_iteration", true)
+	if err != nil {
+		return nil, err
+	}
+	if v >= OptimizedI {
+		xform.Vectorize(progs)
+	}
+	if v >= OptimizedII {
+		xform.Jam(progs)
+	}
+	if v >= OptimizedIII {
+		xform.StripMine(progs, blk)
+	}
+	return progs, nil
+}
+
+// RunGS measures one configuration on the default (iPSC/2-like) machine.
+// The result matrix is validated against the sequential reference before
+// reporting (an experiment that computes the wrong answer reports an error,
+// not a time).
+func RunGS(v Variant, procs int, n, blk int64) (*Point, error) {
+	return RunGSWith(machine.DefaultConfig(procs), v, n, blk)
+}
+
+// RunGSWith measures one configuration on an explicit machine calibration
+// (used by the shared-memory ablation).
+func RunGSWith(cfg machine.Config, v Variant, n, blk int64) (*Point, error) {
+	procs := cfg.Procs
+	input := Input(n)
+
+	var stats machine.Stats
+	var result *istruct.Matrix
+	if v == Handwritten {
+		res, err := wavefront.Run(cfg, n, blk, input)
+		if err != nil {
+			return nil, err
+		}
+		stats, result = res.Stats, res.New
+	} else {
+		progs, err := CompileGS(v, procs, n, blk)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.RunSPMD(progs, cfg, map[string]*istruct.Matrix{"Old": Input(n)})
+		if err != nil {
+			return nil, err
+		}
+		stats, result = out.Stats, out.Arrays["New"]
+	}
+
+	if err := validateGS(procs, n, result); err != nil {
+		return nil, fmt.Errorf("%v (procs=%d, n=%d, blk=%d): %w", v, procs, n, blk, err)
+	}
+	return &Point{
+		Variant: v, Procs: procs, N: n, BlkSize: blk,
+		Makespan: stats.Makespan, Messages: stats.Messages,
+		Values: stats.Values, Bytes: stats.Bytes,
+	}, nil
+}
+
+// validateGS compares a distributed result with the sequential reference.
+func validateGS(procs int, n int64, got *istruct.Matrix) error {
+	info, err := checkGS(GSSource, procs, n)
+	if err != nil {
+		return err
+	}
+	out, err := exec.RunSequential(info, "gs_iteration", []exec.ArgVal{{Matrix: Input(n)}})
+	if err != nil {
+		return err
+	}
+	want := out.Ret.Matrix
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			dw, dg := want.Defined(i, j), got.Defined(i, j)
+			if dw != dg {
+				return fmt.Errorf("definedness mismatch at (%d,%d)", i, j)
+			}
+			if !dw {
+				continue
+			}
+			vw, _ := want.Read(i, j)
+			vg, _ := got.Read(i, j)
+			if diff := vw - vg; diff > 1e-9 || diff < -1e-9 {
+				return fmt.Errorf("value mismatch at (%d,%d): %g vs %g", i, j, vg, vw)
+			}
+		}
+	}
+	return nil
+}

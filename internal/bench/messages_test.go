@@ -1,0 +1,57 @@
+package bench
+
+import "testing"
+
+// The headline reproduction: footnote 3's exact message counts on the
+// paper's own configuration — a 128×128 grid, blocks of 8.
+func TestFootnote3Exact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	const n, blk = 128, 8
+	cases := []struct {
+		v    Variant
+		want int64
+	}{
+		{RunTime, 31752},     // "31,752 messages for the run-time resolution code"
+		{CompileTime, 31752}, // "It exchanges as many messages as the run-time version" (§4)
+		{OptimizedIII, 2142}, // the compiled code matches the handwritten count
+		{Handwritten, 2142},  // "versus 2142 messages for the handwritten code"
+	}
+	for _, tc := range cases {
+		pt, err := RunGS(tc.v, 8, n, blk)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.v, err)
+		}
+		if pt.Messages != tc.want {
+			t.Errorf("%v: messages = %d, want %d (paper footnote 3)", tc.v, pt.Messages, tc.want)
+		}
+		// Whatever the packaging, all variants move the same values.
+		if pt.Values != 31752 {
+			t.Errorf("%v: values moved = %d, want 31752", tc.v, pt.Values)
+		}
+	}
+}
+
+// The closed forms behind the counts, checked across grid sizes.
+func TestMessageClosedForms(t *testing.T) {
+	for _, n := range []int64{12, 20, 32} {
+		const blk = 4
+		m := n - 2
+		blocks := (m + blk - 1) / blk
+		rtr, err := RunGS(RunTime, 4, n, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtr.Messages != 2*m*m {
+			t.Errorf("N=%d: RTR messages = %d, want 2(N-2)^2 = %d", n, rtr.Messages, 2*m*m)
+		}
+		o3, err := RunGS(OptimizedIII, 4, n, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m*blocks + m; o3.Messages != want {
+			t.Errorf("N=%d: OptIII messages = %d, want (N-2)·ceil((N-2)/B)+(N-2) = %d", n, o3.Messages, want)
+		}
+	}
+}

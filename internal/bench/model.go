@@ -1,0 +1,74 @@
+package bench
+
+import "procdecomp/internal/machine"
+
+// Block-size selection. §4 leaves open "the determination of the block size
+// to obtain the best trade-off between minimizing message traffic and
+// exploiting parallelism"; this file implements the natural analytic model
+// and PredictBestBlock answers the question for the wavefront pattern.
+//
+// For an N×N grid on S processors, interior height M = N-2, block size B,
+// K = ceil(M/B) blocks per column, two terms compete:
+//
+//   - work: each processor handles N/S columns, each costing M·cE compute
+//     plus K block exchanges (send+receive start-up and 2B per-value costs)
+//     plus one vectorized old-column message;
+//   - chain: the wavefront's critical path — column j cannot start until
+//     column j-1's first block arrives, so each of the N-2 interior columns
+//     adds δ = B·cE + message cost, plus the completion of the last column.
+//
+//   T(B) ≈ max( (N/S)·perCol(B),  (N-2)·δ(B) + lastCol(B) )
+//
+// Small B inflates the K·startup message-traffic term; large B inflates the
+// per-column chain delay δ (lost parallelism) — the paper's exact trade-off.
+
+// elemCycles is the per-element compute cost of the blocked inner loop under
+// the interpreter's accounting (reads, writes, subscripts, arithmetic, loop
+// bookkeeping), in OpCost units. Derived by counting the charges of the
+// Optimized III inner loop.
+const elemCycles = 26
+
+// PredictMakespan evaluates the analytic model for one block size.
+func PredictMakespan(cfg machine.Config, n, blk int64) float64 {
+	if blk <= 0 {
+		return 0
+	}
+	s := int64(cfg.Procs)
+	m := n - 2
+	if m <= 0 || s <= 0 {
+		return 0
+	}
+	k := (m + blk - 1) / blk
+	cE := float64(elemCycles) * float64(cfg.OpCost)
+	cSend := float64(cfg.SendStartup)
+	cRecv := float64(cfg.RecvStartup)
+	cVal := float64(cfg.PerValue)
+	cLat := float64(cfg.Latency)
+
+	colsPerProc := float64(n) / float64(s)
+	blockMsg := cSend + cRecv + 2*float64(blk)*cVal
+	perCol := float64(m)*cE + float64(k)*blockMsg +
+		(cSend + cRecv + float64(m)*2*cVal) // the vectorized old column
+	work := colsPerProc * perCol
+
+	delta := float64(blk)*cE + blockMsg + cLat
+	lastCol := float64(m)*cE + float64(k)*blockMsg
+	chain := float64(m)*delta + lastCol
+
+	if work > chain {
+		return work
+	}
+	return chain
+}
+
+// PredictBestBlock returns the block size minimizing the model over
+// 1..(N-2), answering §4's open question analytically.
+func PredictBestBlock(cfg machine.Config, n int64) int64 {
+	best, bestT := int64(1), PredictMakespan(cfg, n, 1)
+	for b := int64(2); b <= n-2; b++ {
+		if t := PredictMakespan(cfg, n, b); t < bestT {
+			best, bestT = b, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"procdecomp/internal/expr"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/spmd"
+)
+
+// Compile-time resolution (§3.2). The generic run-time resolution program is
+// specialized for each process:
+//
+//  1. "me" is replaced by the process number everywhere.
+//  2. Ownership guards are resolved with the three-valued comparison: true
+//     guards are spliced, false guards are dropped, inconclusive guards stay
+//     as run-time tests.
+//  3. Coerces whose owner/needer relationship is decided split into bare
+//     sends, receives, or local reads; undecided coerces stay (run-time
+//     resolution fallback).
+//  4. Loops whose residual guards solve to congruence classes of the loop
+//     variable (j mod S == p, Fig. 5) are restricted to the iterations the
+//     process participates in. The restricted form preserves the exact
+//     global execution order of run-time resolution: when several classes
+//     coexist, the loop iterates over "rounds" of S consecutive iterations,
+//     visiting each class at its position within the round; a single class
+//     becomes the classic strided loop of Fig. 5.
+
+// SpecializeAll produces one specialized program per process from the
+// generic program.
+func SpecializeAll(generic *spmd.Program, procs int64, restrict bool) []*spmd.Program {
+	out := make([]*spmd.Program, procs)
+	for p := int64(0); p < procs; p++ {
+		out[p] = Specialize(generic, p, procs, restrict)
+	}
+	return out
+}
+
+// Specialize produces the program for one process of a procs-sized machine.
+func Specialize(generic *spmd.Program, p, procs int64, restrict bool) *spmd.Program {
+	body := spmd.CloneBody(generic.Body)
+	spmd.SubstBody(body, spmd.Me, expr.C(p))
+	s := &spec{p: p, procs: procs, restrict: restrict}
+	body = s.stmts(body)
+	prog := *generic
+	prog.Body = body
+	prog.Proc = int(p)
+	return &prog
+}
+
+type spec struct {
+	p        int64
+	procs    int64
+	restrict bool
+	nextTmp  int
+}
+
+func (s *spec) tmp() string {
+	s.nextTmp++
+	return fmt.Sprintf("ct%d", s.nextTmp)
+}
+
+// me returns this process's number as an expression.
+func (s *spec) me() expr.Expr { return expr.C(s.p) }
+
+func (s *spec) stmts(in []spmd.Stmt) []spmd.Stmt {
+	var out []spmd.Stmt
+	for _, st := range in {
+		out = append(out, s.stmt(st)...)
+	}
+	return out
+}
+
+func (s *spec) stmt(st spmd.Stmt) []spmd.Stmt {
+	switch st := st.(type) {
+	case *spmd.Guard:
+		body := s.stmts(st.Body)
+		if len(body) == 0 {
+			return nil
+		}
+		switch expr.EqualTri(s.me(), st.Proc) {
+		case expr.Yes:
+			return body
+		case expr.No:
+			return nil
+		default:
+			return []spmd.Stmt{&spmd.Guard{Proc: st.Proc, Body: body}}
+		}
+	case *spmd.Coerce:
+		return s.coerce(st)
+	case *spmd.For:
+		body := s.stmts(st.Body)
+		if len(body) == 0 {
+			return nil
+		}
+		loop := &spmd.For{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step, Body: body}
+		if s.restrict {
+			return s.restrictLoop(loop)
+		}
+		return []spmd.Stmt{loop}
+	case *spmd.IfValue:
+		then := s.stmts(st.Then)
+		els := s.stmts(st.Else)
+		if len(then) == 0 && len(els) == 0 {
+			return nil
+		}
+		return []spmd.Stmt{&spmd.IfValue{Cond: st.Cond, Then: then, Else: els}}
+	default:
+		return []spmd.Stmt{st}
+	}
+}
+
+// readInto builds the statement that loads a coerce's source into dst
+// (valid only on the owner).
+func readInto(co *spmd.Coerce, dst string) spmd.Stmt {
+	if co.Array != "" {
+		return &spmd.ARead{Dst: dst, Array: co.Array, Idx: co.Idx}
+	}
+	return &spmd.AssignVar{Name: dst, Val: spmd.VVar{Name: co.Var}}
+}
+
+// coerce resolves one coerce for process p, splitting it into its roles when
+// the analysis decides them; an inconclusive analysis keeps the coerce as a
+// run-time test (§3.2's third outcome).
+func (s *spec) coerce(co *spmd.Coerce) []spmd.Stmt {
+	switch {
+	case co.OwnerAll && co.NeederAll:
+		return []spmd.Stmt{readInto(co, co.Dst)}
+	case co.OwnerAll:
+		// Replicated source: the needer reads its own copy.
+		switch expr.EqualTri(s.me(), co.Needer) {
+		case expr.Yes:
+			return []spmd.Stmt{readInto(co, co.Dst)}
+		case expr.No:
+			return nil
+		default:
+			return []spmd.Stmt{&spmd.Guard{Proc: co.Needer, Body: []spmd.Stmt{readInto(co, co.Dst)}}}
+		}
+	case co.NeederAll:
+		// Broadcast from the owner.
+		switch expr.EqualTri(s.me(), co.Owner) {
+		case expr.Yes:
+			out := []spmd.Stmt{readInto(co, co.Dst)}
+			for q := int64(0); q < s.procs; q++ {
+				if q != s.p {
+					out = append(out, &spmd.Send{Dst: expr.C(q), Tag: co.Tag, Val: spmd.VVar{Name: co.Dst}})
+				}
+			}
+			return out
+		case expr.No:
+			return []spmd.Stmt{&spmd.Recv{Src: co.Owner, Tag: co.Tag, Dst: co.Dst}}
+		default:
+			return []spmd.Stmt{co}
+		}
+	default:
+		eq := expr.EqualTri(co.Owner, co.Needer)
+		switch eq {
+		case expr.Yes:
+			// Local: just a read on the owner.
+			switch expr.EqualTri(s.me(), co.Owner) {
+			case expr.Yes:
+				return []spmd.Stmt{readInto(co, co.Dst)}
+			case expr.No:
+				return nil
+			default:
+				return []spmd.Stmt{&spmd.Guard{Proc: co.Owner, Body: []spmd.Stmt{readInto(co, co.Dst)}}}
+			}
+		case expr.No:
+			var out []spmd.Stmt
+			// Sender role.
+			switch expr.EqualTri(s.me(), co.Owner) {
+			case expr.Yes:
+				tmp := s.tmp()
+				out = append(out, readInto(co, tmp),
+					&spmd.Send{Dst: co.Needer, Tag: co.Tag, Val: spmd.VVar{Name: tmp}})
+			case expr.Maybe:
+				tmp := s.tmp()
+				out = append(out, &spmd.Guard{Proc: co.Owner, Body: []spmd.Stmt{
+					readInto(co, tmp),
+					&spmd.Send{Dst: co.Needer, Tag: co.Tag, Val: spmd.VVar{Name: tmp}},
+				}})
+			}
+			// Receiver role.
+			switch expr.EqualTri(s.me(), co.Needer) {
+			case expr.Yes:
+				out = append(out, &spmd.Recv{Src: co.Owner, Tag: co.Tag, Dst: co.Dst})
+			case expr.Maybe:
+				out = append(out, &spmd.Guard{Proc: co.Needer, Body: []spmd.Stmt{
+					&spmd.Recv{Src: co.Owner, Tag: co.Tag, Dst: co.Dst},
+				}})
+			}
+			return out
+		default:
+			// Owner-needer relationship undecidable: run-time resolution.
+			return []spmd.Stmt{co}
+		}
+	}
+}
+
+// piece is a classified fragment of a loop body: stmts that execute exactly
+// when cond's process expression equals p (condDep) or unconditionally
+// (cond == nil).
+type piece struct {
+	cond  *expr.Expr // the guard's process expression, nil for unconditional
+	stmts []spmd.Stmt
+}
+
+// classify decomposes a loop-body statement into guard-classified pieces.
+// ok is false when the statement cannot be classified (data-dependent
+// control flow, residual coerces, unguarded leaf work).
+func classify(st spmd.Stmt) (pieces []piece, ok bool) {
+	switch st := st.(type) {
+	case *spmd.Guard:
+		c := st.Proc
+		return []piece{{cond: &c, stmts: st.Body}}, true
+	case *spmd.For:
+		inner, ok := classifyList(st.Body)
+		if !ok {
+			return nil, false
+		}
+		// Rebuild one loop per class. Distribution across classes is exact
+		// because classifyList guarantees classes are pairwise disjoint.
+		var out []piece
+		for _, pc := range inner {
+			loop := &spmd.For{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step, Body: pc.stmts}
+			out = append(out, piece{cond: pc.cond, stmts: []spmd.Stmt{loop}})
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// classifyList classifies every statement of a loop body and merges pieces
+// with provably-equal conditions (preserving their relative order). It fails
+// when any statement is unclassifiable or when two conditions are neither
+// provably equal nor provably different — distribution would then be unsound.
+func classifyList(body []spmd.Stmt) ([]piece, bool) {
+	var merged []piece
+	for _, st := range body {
+		pieces, ok := classify(st)
+		if !ok {
+			return nil, false
+		}
+		for _, pc := range pieces {
+			placed := false
+			for i := range merged {
+				switch expr.EqualTri(*merged[i].cond, *pc.cond) {
+				case expr.Yes:
+					merged[i].stmts = append(merged[i].stmts, pc.stmts...)
+					placed = true
+				case expr.No:
+					// disjoint: keep looking
+				default:
+					return nil, false // can't prove the classes disjoint
+				}
+				if placed {
+					break
+				}
+			}
+			if !placed {
+				merged = append(merged, pc)
+			}
+		}
+	}
+	return merged, true
+}
+
+// restrictLoop restricts a specialized loop to the iterations in which this
+// process participates. When the body does not fit the decidable fragment,
+// the loop is returned unchanged — the run-time guards keep it correct.
+func (s *spec) restrictLoop(loop *spmd.For) []spmd.Stmt {
+	step, ok := loop.Step.ConstVal()
+	if !ok || step != 1 {
+		return []spmd.Stmt{loop}
+	}
+	lo, loConst := loop.Lo.ConstVal()
+	if !loConst {
+		return []spmd.Stmt{loop}
+	}
+	pieces, ok := classifyList(loop.Body)
+	if !ok || len(pieces) == 0 {
+		return []spmd.Stmt{loop}
+	}
+
+	// Solve every class condition as v ≡ r (mod S) for a shared S.
+	type class struct {
+		r     int64
+		start int64 // first iteration ≥ lo in the class
+		stmts []spmd.Stmt
+	}
+	var classes []class
+	var stride int64
+	for _, pc := range pieces {
+		inner, sv, isMod := expr.AsMod(*pc.cond)
+		if !isMod {
+			return []spmd.Stmt{loop}
+		}
+		if stride == 0 {
+			stride = sv
+		} else if stride != sv {
+			return []spmd.Stmt{loop}
+		}
+		sol, solved := expr.SolveModEq(inner, sv, s.me(), loop.Var)
+		if !solved {
+			return []spmd.Stmt{loop}
+		}
+		r, rConst := sol.Offset.ConstVal()
+		if !rConst {
+			return []spmd.Stmt{loop}
+		}
+		// This process participates in the class iff its number can satisfy
+		// the equation at all; SolveModEq already folded p in, so any
+		// solution progression is genuine.
+		classes = append(classes, class{
+			r:     r,
+			start: lo + expr.EucMod(r-lo, sv),
+			stmts: pc.stmts,
+		})
+	}
+	if stride == 1 {
+		// Every iteration participates; stripping the (always-true) guards
+		// is the entire win.
+		var body []spmd.Stmt
+		for _, cl := range classes {
+			body = append(body, cl.stmts...)
+		}
+		return []spmd.Stmt{&spmd.For{Var: loop.Var, Lo: loop.Lo, Hi: loop.Hi, Step: loop.Step, Body: body}}
+	}
+
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].start < classes[j].start })
+
+	if len(classes) == 1 {
+		// Fig. 5: the classic strided loop "for j = p to N by S".
+		cl := classes[0]
+		return []spmd.Stmt{&spmd.For{
+			Var:  loop.Var,
+			Lo:   expr.C(cl.start),
+			Hi:   loop.Hi,
+			Step: expr.C(stride),
+			Body: cl.stmts,
+		}}
+	}
+
+	// Several disjoint classes: iterate over rounds of S consecutive
+	// iterations, visiting each class at its position within the round.
+	// This preserves the exact global iteration order of the unrestricted
+	// loop while skipping every iteration this process has no role in.
+	round := loop.Var + ".round"
+	minStart := classes[0].start
+	rounds := expr.Div(expr.Sub(loop.Hi, expr.C(minStart)), expr.C(stride))
+	var body []spmd.Stmt
+	for _, cl := range classes {
+		v := expr.Add(expr.C(cl.start), expr.Mul(expr.V(round), expr.C(stride)))
+		stmts := spmd.CloneBody(cl.stmts)
+		spmd.SubstBody(stmts, loop.Var, v)
+		inRange := spmd.VBin{
+			Op: lang.OpLe,
+			L:  spmd.VInt{X: v},
+			R:  spmd.VInt{X: loop.Hi},
+		}
+		body = append(body, &spmd.IfValue{Cond: inRange, Then: stmts})
+	}
+	return []spmd.Stmt{&spmd.For{
+		Var:  round,
+		Lo:   expr.C(0),
+		Hi:   rounds,
+		Step: expr.C(1),
+		Body: body,
+	}}
+}

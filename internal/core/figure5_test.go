@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"procdecomp/internal/spmd"
+)
+
+// TestFigure5Golden pins the exact compile-time resolution output for a
+// non-boundary processor of a small wavefront (the shape of the paper's
+// Fig. 5): the three per-column roles — send the old column left, compute
+// the column receiving from both neighbours, send the new column right —
+// restricted to the processor's congruence classes, with no residual
+// ownership tests. A change to this text means the code generator changed;
+// update deliberately.
+func TestFigure5Golden(t *testing.T) {
+	info := checked(t, gsSource, 4, map[string]int64{"N": 8})
+	progs, err := New(info).CompileCTR("gs_iteration", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := spmd.Format(progs[1])
+	const want = `program gs_iteration  -- specialized for process 1
+param Old: cyclic_cols(S=4, 8x8)
+New := local_alloc(8, 2)
+for j = 1 to 8 by 4 {
+  is_write(New[1, ((j - 1) div 4) + 1], 1)
+  is_write(New[8, ((j - 1) div 4) + 1], 1)
+}
+for i = 2 to 7 {
+  is_write(New[i, 1], 1)
+}
+for j#2.round = 0 to 1 {
+  if (4*j#2.round + 2 <= 7) {
+    for i#2 = 2 to 7 {
+      ct1 := is_read(New[i#2, ((4*j#2.round) div 4) + 1])
+      send(ct1, to 2)  -- tag 2
+    }
+  }
+  if (4*j#2.round + 4 <= 7) {
+    for i#2 = 2 to 7 {
+      ct2 := is_read(Old[i#2, ((4*j#2.round + 4) div 4) + 1])
+      send(ct2, to 0)  -- tag 4
+    }
+  }
+  if (4*j#2.round + 5 <= 7) {
+    for i#2 = 2 to 7 {
+      t1 := is_read(New[i#2 - 1, ((4*j#2.round + 4) div 4) + 1])
+      t2 := receive(from 0)  -- tag 2
+      t3 := is_read(Old[i#2 + 1, ((4*j#2.round + 4) div 4) + 1])
+      t4 := receive(from 2)  -- tag 4
+      is_write(New[i#2, ((4*j#2.round + 4) div 4) + 1], (0.25 * (((t1 + t2) + t3) + t4)))
+    }
+  }
+}
+output Old  -- gathered via cyclic_cols(S=4, 8x8)
+output New  -- gathered via cyclic_cols(S=4, 8x8)
+`
+	if got != want {
+		t.Errorf("Fig. 5 golden mismatch.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

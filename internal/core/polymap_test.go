@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"procdecomp/internal/exec"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/spmd"
+)
+
+// Mapping polymorphism, Figs. 8 and 9 (§5.1). The monomorphic identity-like
+// procedure pins its computation to one processor, forcing coercions at
+// every call; abstracting the mapping lets each call site compile where its
+// argument lives, eliminating the messages.
+
+const monoSrc = `
+proc scale(x: real on proc(0)): real on proc(0) {
+  return 2.0 * x;
+}
+proc main(Out: matrix[2, 1] on proc(2)) {
+  let b: real on proc(1) = 7.0;
+  let cc: real on proc(2) = 9.0;
+  Out[1, 1] = scale(b);
+  Out[2, 1] = scale(cc);
+}
+`
+
+const polySrc = `
+proc scale[D: dist](x: real on D): real on D {
+  return 2.0 * x;
+}
+proc main(Out: matrix[2, 1] on proc(2)) {
+  let b: real on proc(1) = 7.0;
+  let cc: real on proc(2) = 9.0;
+  Out[1, 1] = scale[proc(1)](b);
+  Out[2, 1] = scale[proc(2)](cc);
+}
+`
+
+func runPolymap(t *testing.T, src string) (*exec.SPMDOutcome, []*spmd.Program) {
+	t.Helper()
+	info := checked(t, src, 3, nil)
+	progs, err := New(info).CompileCTR("main", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := istruct.NewMatrix("Out", 2, 1)
+	res, err := exec.RunSPMD(progs, testMachine(3), map[string]*istruct.Matrix{"Out": out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, progs
+}
+
+func TestPolymapResultsAgree(t *testing.T) {
+	for _, src := range []string{monoSrc, polySrc} {
+		res, _ := runPolymap(t, src)
+		v1, err1 := res.Arrays["Out"].Read(1, 1)
+		v2, err2 := res.Arrays["Out"].Read(2, 1)
+		if err1 != nil || err2 != nil || v1 != 14 || v2 != 18 {
+			t.Fatalf("results = %v (%v), %v (%v); want 14, 18", v1, err1, v2, err2)
+		}
+	}
+}
+
+func TestPolymapEliminatesMessages(t *testing.T) {
+	mono, _ := runPolymap(t, monoSrc)
+	poly, _ := runPolymap(t, polySrc)
+	// Fig. 8: the monomorphic calls coerce both arguments to the pinned
+	// processor and the results back out where needed. Fig. 9: the
+	// polymorphic instantiations compute in place, leaving only the one
+	// genuinely necessary move (scale(b)'s result travels to Out's owner).
+	if mono.Stats.Messages != 4 {
+		t.Errorf("monomorphic messages = %d, want 4", mono.Stats.Messages)
+	}
+	if poly.Stats.Messages != 1 {
+		t.Errorf("polymorphic messages = %d, want 1", poly.Stats.Messages)
+	}
+	if poly.Stats.Makespan >= mono.Stats.Makespan {
+		t.Errorf("polymorphic makespan %d should beat monomorphic %d",
+			poly.Stats.Makespan, mono.Stats.Makespan)
+	}
+}
+
+func TestPolymapParallelCalls(t *testing.T) {
+	// Fig. 9's other claim: "Not only can f(b) and f(c) be done in
+	// parallel". With the mapping abstracted, the two instantiated bodies
+	// run on different processors, so neither serializes behind the other:
+	// processor 1's program must not mention processor 0's code at all.
+	_, progs := runPolymap(t, polySrc)
+	p0 := spmd.Format(progs[0])
+	if len(progs[0].Body) != 0 && p0 != spmd.Format(&spmd.Program{Name: progs[0].Name, Proc: 0,
+		Params: progs[0].Params, Arrays: progs[0].Arrays, Outputs: progs[0].Outputs}) {
+		// Processor 0 owns nothing in the polymorphic version; its program
+		// should be empty of statements.
+		if len(progs[0].Body) > 0 {
+			t.Errorf("processor 0 should have no work in the polymorphic version:\n%s", p0)
+		}
+	}
+}

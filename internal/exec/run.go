@@ -1,0 +1,483 @@
+package exec
+
+import (
+	"fmt"
+
+	"procdecomp/internal/dist"
+	"procdecomp/internal/expr"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/spmd"
+)
+
+// SPMDOutcome is the result of a distributed run: gathered global values
+// plus the machine's performance statistics.
+type SPMDOutcome struct {
+	Stats machine.Stats
+	// Arrays holds the output arrays reassembled from the owners' local
+	// pieces (undefined elements stay undefined).
+	Arrays map[string]*istruct.Matrix
+	// Scalars holds output scalar I-variables, read from their owners.
+	Scalars map[string]Value
+}
+
+// RunSPMD executes the compiled programs on a fresh simulated machine.
+// progs must either hold exactly one generic program (Proc == -1, executed
+// by every process — run-time resolution) or cfg.Procs specialized programs
+// indexed by process number (compile-time resolution). inputs supplies the
+// global contents of each parameter array; the harness scatters them to the
+// owners before timing starts.
+func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istruct.Matrix) (*SPMDOutcome, error) {
+	pick := func(p int) *spmd.Program { return progs[p] }
+	switch {
+	case len(progs) == 1 && progs[0].Proc < 0:
+		pick = func(int) *spmd.Program { return progs[0] }
+	case len(progs) == cfg.Procs:
+		for i, pr := range progs {
+			if pr.Proc != i {
+				return nil, fmt.Errorf("exec: program %d is specialized for process %d", i, pr.Proc)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: got %d program(s) for %d processes", len(progs), cfg.Procs)
+	}
+
+	m := machine.New(cfg)
+	states := make([]*pstate, cfg.Procs)
+	for i := range states {
+		states[i] = newPState(pick(i), i)
+	}
+	// Scatter input arrays (setup, not timed).
+	for i, st := range states {
+		for _, prm := range st.prog.Params {
+			g, ok := inputs[prm.Name]
+			if !ok {
+				return nil, fmt.Errorf("exec: no input supplied for parameter %s", prm.Name)
+			}
+			st.arrays[prm.Name] = scatter(g, prm.Dist, int64(i))
+		}
+	}
+
+	err := m.Run(func(p *machine.Proc) {
+		st := states[p.ID()]
+		st.p = p
+		st.exec(st.prog.Body)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SPMDOutcome{
+		Stats:   m.Stats(),
+		Arrays:  map[string]*istruct.Matrix{},
+		Scalars: map[string]Value{},
+	}
+	for _, o := range pick(0).Outputs {
+		if o.IsArray {
+			info := pick(0).Arrays[o.Name]
+			g, gerr := gather(states, o.Name, info)
+			if gerr != nil {
+				return nil, gerr
+			}
+			out.Arrays[o.Name] = g
+		} else {
+			owner := int64(0)
+			if o.ScalarDist != nil && o.ScalarDist.Kind() == dist.KindSingle {
+				owner, _ = dist.ProcOf(o.ScalarDist)
+			}
+			iv, ok := states[owner].ivars[o.Name]
+			if !ok || !iv.Defined() {
+				return nil, fmt.Errorf("exec: output scalar %s undefined on process %d", o.Name, owner)
+			}
+			v, _ := iv.Read()
+			out.Scalars[o.Name] = v
+		}
+	}
+	return out, nil
+}
+
+// scatter builds process p's local piece of a global input array.
+func scatter(g *istruct.Matrix, d dist.Dist, p int64) *istruct.Matrix {
+	ls := d.LocalShape()
+	local, err := istruct.NewMatrix(g.Name(), ls[0], ls[1])
+	if err != nil {
+		panic(err)
+	}
+	rows, cols := g.Rows(), g.Cols()
+	for i := int64(1); i <= rows; i++ {
+		for j := int64(1); j <= cols; j++ {
+			owner := d.Owner([]int64{i, j})
+			if owner != p && owner != dist.All {
+				continue
+			}
+			if !g.Defined(i, j) {
+				continue
+			}
+			v, _ := g.Read(i, j)
+			l := d.Local([]int64{i, j})
+			if err := local.Write(l[0], l[1], v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return local
+}
+
+// gather reassembles a global array from the owners' local pieces. Vectors
+// (rank 1) gather into an n×1 matrix, matching their local representation.
+func gather(states []*pstate, name string, info spmd.ArrayInfo) (*istruct.Matrix, error) {
+	shape := info.GlobalShape
+	rows, cols := shape[0], int64(1)
+	if len(shape) == 2 {
+		cols = shape[1]
+	}
+	g, err := istruct.NewMatrix(name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	d := info.Dist
+	for i := int64(1); i <= rows; i++ {
+		for j := int64(1); j <= cols; j++ {
+			idx := []int64{i, j}
+			if len(shape) == 1 {
+				idx = []int64{i}
+			}
+			owner := d.Owner(idx)
+			if owner == dist.All {
+				owner = 0
+			}
+			st := states[owner]
+			local, ok := st.arrays[name]
+			if !ok {
+				return nil, fmt.Errorf("exec: process %d never allocated %s", owner, name)
+			}
+			l := d.Local(idx)
+			li, lj := l[0], int64(1)
+			if len(l) == 2 {
+				lj = l[1]
+			}
+			if !local.Defined(li, lj) {
+				continue
+			}
+			v, _ := local.Read(li, lj)
+			if err := g.Write(i, j, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// pstate is one process's interpreter state.
+type pstate struct {
+	prog   *spmd.Program
+	me     int64
+	p      *machine.Proc
+	arrays map[string]*istruct.Matrix
+	ivars  map[string]*istruct.IVar
+	bufs   map[string][]Value
+	vars   map[string]Value
+	ienv   expr.Env // integer view of vars + loop variables + me
+}
+
+func newPState(prog *spmd.Program, me int) *pstate {
+	st := &pstate{
+		prog:   prog,
+		me:     int64(me),
+		arrays: map[string]*istruct.Matrix{},
+		ivars:  map[string]*istruct.IVar{},
+		bufs:   map[string][]Value{},
+		vars:   map[string]Value{},
+		ienv:   expr.Env{},
+	}
+	st.ienv[spmd.Me] = int64(me)
+	return st
+}
+
+func (st *pstate) failf(format string, args ...any) {
+	panic(fmt.Errorf(format, args...))
+}
+
+func (st *pstate) setVar(name string, v Value) {
+	st.vars[name] = v
+	st.ienv[name] = int64(v)
+}
+
+func (st *pstate) intOf(e expr.Expr) int64 {
+	v, err := e.Eval(st.ienv)
+	if err != nil {
+		st.failf("process %d: %v", st.me, err)
+	}
+	return v
+}
+
+// vexprOps counts operator nodes, for cost accounting.
+func vexprOps(v spmd.VExpr) int64 {
+	switch v := v.(type) {
+	case spmd.VBin:
+		return 1 + vexprOps(v.L) + vexprOps(v.R)
+	case spmd.VUn:
+		return 1 + vexprOps(v.X)
+	default:
+		return 0
+	}
+}
+
+func (st *pstate) evalV(v spmd.VExpr) Value {
+	switch v := v.(type) {
+	case spmd.VConst:
+		return v.F
+	case spmd.VVar:
+		if val, ok := st.vars[v.Name]; ok {
+			return val
+		}
+		if iv, ok := st.ivars[v.Name]; ok {
+			val, err := iv.Read()
+			if err != nil {
+				st.failf("process %d: %v", st.me, err)
+			}
+			return val
+		}
+		st.failf("process %d: undefined variable %s", st.me, v.Name)
+		return 0
+	case spmd.VInt:
+		return Value(st.intOf(v.X))
+	case spmd.VBin:
+		return EvalBin(v.Op, st.evalV(v.L), st.evalV(v.R), func(msg string) {
+			st.failf("process %d: %s", st.me, msg)
+		})
+	case spmd.VUn:
+		x := st.evalV(v.X)
+		if v.Op == lang.OpNeg {
+			return -x
+		}
+		if x != 0 {
+			return 0
+		}
+		return 1
+	default:
+		st.failf("process %d: unknown value expression %T", st.me, v)
+		return 0
+	}
+}
+
+func (st *pstate) exec(body []spmd.Stmt) {
+	for _, s := range body {
+		st.stmt(s)
+	}
+}
+
+// indexCost is the flat operation charge for computing one array or buffer
+// subscript (the local-index arithmetic of the paper's column_local).
+const indexCost = 2
+
+func (st *pstate) stmt(s spmd.Stmt) {
+	switch s := s.(type) {
+	case *spmd.Alloc:
+		switch len(s.Shape) {
+		case 2:
+			m, err := istruct.NewMatrix(s.Array, st.intOf(s.Shape[0]), st.intOf(s.Shape[1]))
+			if err != nil {
+				st.failf("process %d: %v", st.me, err)
+			}
+			st.arrays[s.Array] = m
+		case 1:
+			m, err := istruct.NewMatrix(s.Array, st.intOf(s.Shape[0]), 1)
+			if err != nil {
+				st.failf("process %d: %v", st.me, err)
+			}
+			st.arrays[s.Array] = m
+		default:
+			st.failf("process %d: alloc of rank %d", st.me, len(s.Shape))
+		}
+	case *spmd.AllocBuf:
+		st.bufs[s.Buf] = make([]Value, st.intOf(s.Size)+1) // 1-based
+	case *spmd.AssignVar:
+		st.p.Ops(vexprOps(s.Val))
+		st.setVar(s.Name, st.evalV(s.Val))
+	case *spmd.AssignIVar:
+		st.p.Ops(vexprOps(s.Val))
+		v := st.evalV(s.Val)
+		iv, ok := st.ivars[s.Name]
+		if !ok {
+			iv = istruct.NewIVar(s.Name)
+			st.ivars[s.Name] = iv
+		}
+		if err := iv.Write(v); err != nil {
+			st.failf("process %d: %v", st.me, err)
+		}
+		st.ienv[s.Name] = int64(v)
+	case *spmd.ARead:
+		st.p.Ops(indexCost)
+		st.p.Mem(1)
+		st.setVar(s.Dst, st.aread(s.Array, s.Idx))
+	case *spmd.AWrite:
+		st.p.Ops(indexCost + vexprOps(s.Val))
+		st.p.Mem(1)
+		st.awrite(s.Array, s.Idx, st.evalV(s.Val))
+	case *spmd.BufRead:
+		st.p.Ops(indexCost)
+		st.p.Mem(1)
+		buf := st.buf(s.Buf)
+		i := st.intOf(s.Idx)
+		st.checkBuf(s.Buf, buf, i)
+		st.setVar(s.Dst, buf[i])
+	case *spmd.BufWrite:
+		st.p.Ops(indexCost + vexprOps(s.Val))
+		st.p.Mem(1)
+		buf := st.buf(s.Buf)
+		i := st.intOf(s.Idx)
+		st.checkBuf(s.Buf, buf, i)
+		buf[i] = st.evalV(s.Val)
+	case *spmd.Send:
+		st.p.Ops(vexprOps(s.Val))
+		st.p.Send(int(st.intOf(s.Dst)), s.Tag, st.evalV(s.Val))
+	case *spmd.Recv:
+		v := st.p.Recv1(int(st.intOf(s.Src)), s.Tag)
+		st.setVar(s.Dst, v)
+	case *spmd.SendBuf:
+		buf := st.buf(s.Buf)
+		lo, hi := st.intOf(s.Lo), st.intOf(s.Hi)
+		st.checkBuf(s.Buf, buf, lo)
+		st.checkBuf(s.Buf, buf, hi)
+		st.p.Send(int(st.intOf(s.Dst)), s.Tag, buf[lo:hi+1]...)
+	case *spmd.RecvBuf:
+		buf := st.buf(s.Buf)
+		lo, hi := st.intOf(s.Lo), st.intOf(s.Hi)
+		st.checkBuf(s.Buf, buf, lo)
+		st.checkBuf(s.Buf, buf, hi)
+		vals := st.p.Recv(int(st.intOf(s.Src)), s.Tag)
+		if int64(len(vals)) != hi-lo+1 {
+			st.failf("process %d: block receive of %d values into %s[%d..%d]", st.me, len(vals), s.Buf, lo, hi)
+		}
+		copy(buf[lo:hi+1], vals)
+	case *spmd.Coerce:
+		st.coerce(s)
+	case *spmd.For:
+		lo, hi, step := st.intOf(s.Lo), st.intOf(s.Hi), st.intOf(s.Step)
+		if step <= 0 {
+			st.failf("process %d: loop step %d", st.me, step)
+		}
+		for x := lo; x <= hi; x += step {
+			st.p.LoopStep()
+			st.vars[s.Var] = Value(x)
+			st.ienv[s.Var] = x
+			st.exec(s.Body)
+		}
+	case *spmd.Guard:
+		st.p.Ops(1) // the mynode() test of run-time resolution
+		if st.intOf(s.Proc) == st.me {
+			st.exec(s.Body)
+		}
+	case *spmd.IfValue:
+		st.p.Ops(vexprOps(s.Cond))
+		if st.evalV(s.Cond) != 0 {
+			st.exec(s.Then)
+		} else {
+			st.exec(s.Else)
+		}
+	default:
+		st.failf("process %d: unknown statement %T", st.me, s)
+	}
+}
+
+func (st *pstate) buf(name string) []Value {
+	b, ok := st.bufs[name]
+	if !ok {
+		st.failf("process %d: undefined buffer %s", st.me, name)
+	}
+	return b
+}
+
+func (st *pstate) checkBuf(name string, buf []Value, i int64) {
+	if i < 1 || i >= int64(len(buf)) {
+		st.failf("process %d: buffer %s index %d out of range [1,%d]", st.me, name, i, len(buf)-1)
+	}
+}
+
+func (st *pstate) aread(name string, idx []expr.Expr) Value {
+	arr, ok := st.arrays[name]
+	if !ok {
+		st.failf("process %d: undefined array %s", st.me, name)
+	}
+	i, j := st.intOf(idx[0]), int64(1)
+	if len(idx) == 2 {
+		j = st.intOf(idx[1])
+	}
+	v, err := arr.Read(i, j)
+	if err != nil {
+		st.failf("process %d: %v", st.me, err)
+	}
+	return v
+}
+
+func (st *pstate) awrite(name string, idx []expr.Expr, v Value) {
+	arr, ok := st.arrays[name]
+	if !ok {
+		st.failf("process %d: undefined array %s", st.me, name)
+	}
+	i, j := st.intOf(idx[0]), int64(1)
+	if len(idx) == 2 {
+		j = st.intOf(idx[1])
+	}
+	if err := arr.Write(i, j, v); err != nil {
+		st.failf("process %d: %v", st.me, err)
+	}
+}
+
+// coerce implements run-time resolution's value movement (§3.1). Every
+// process executes the statement and plays its role; the ownership tests are
+// charged as compute.
+func (st *pstate) coerce(s *spmd.Coerce) {
+	st.p.Ops(2) // owner/needer membership tests
+	readSrc := func() Value {
+		st.p.Mem(1)
+		if s.Array != "" {
+			st.p.Ops(indexCost)
+			return st.aread(s.Array, s.Idx)
+		}
+		iv, ok := st.ivars[s.Var]
+		if !ok {
+			st.failf("process %d: coerce of undefined scalar %s", st.me, s.Var)
+		}
+		v, err := iv.Read()
+		if err != nil {
+			st.failf("process %d: %v", st.me, err)
+		}
+		return v
+	}
+
+	switch {
+	case s.OwnerAll:
+		// Replicated source: everyone who needs it reads its own copy.
+		if s.NeederAll || st.intOf(s.Needer) == st.me {
+			st.setVar(s.Dst, readSrc())
+		}
+	case s.NeederAll:
+		owner := st.intOf(s.Owner)
+		if owner == st.me {
+			v := readSrc()
+			for q := 0; q < st.p.Procs(); q++ {
+				if int64(q) != st.me {
+					st.p.Send(q, s.Tag, v)
+				}
+			}
+			st.setVar(s.Dst, v)
+		} else {
+			st.setVar(s.Dst, st.p.Recv1(int(owner), s.Tag))
+		}
+	default:
+		owner, needer := st.intOf(s.Owner), st.intOf(s.Needer)
+		switch {
+		case owner == needer:
+			if owner == st.me {
+				st.setVar(s.Dst, readSrc())
+			}
+		case owner == st.me:
+			st.p.Send(int(needer), s.Tag, readSrc())
+		case needer == st.me:
+			st.setVar(s.Dst, st.p.Recv1(int(owner), s.Tag))
+		}
+	}
+}

@@ -1,0 +1,585 @@
+// Package expr implements the symbolic integer expression algebra used by
+// the process-decomposition compiler.
+//
+// The evaluators/participants analysis of compile-time resolution (paper
+// §3.2) manipulates processor-mapping expressions such as "(j+1) mod S".
+// This package provides a canonical representation for such expressions —
+// affine combinations of variables and opaque atoms (mod, div, min, max,
+// non-affine products) — along with simplification, evaluation, substitution,
+// tri-state comparison, and the modular equation solver used to restrict loop
+// bounds to the iterations a processor owns.
+//
+// div is floor division and mod is Euclidean (the result lies in [0, m) for
+// m > 0), matching the paper's processor arithmetic where the left neighbour
+// on a ring is (p-1) mod S even for p = 0.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an immutable symbolic integer expression in canonical form: a
+// constant plus a sum of coefficient·atom terms, where an atom is a variable
+// or an opaque subexpression (mod, div, min, max, product). The zero value is
+// the constant 0.
+type Expr struct {
+	terms []term // sorted by atom key; no zero coefficients; unique atoms
+	c     int64
+}
+
+type term struct {
+	coef int64
+	atom atom
+}
+
+// atom is a non-constant building block of an expression.
+type atom interface {
+	key() string // canonical, unambiguous; used for ordering and equality
+	eval(env Env) (int64, error)
+	subst(name string, r Expr) Expr // result of substituting into this atom
+	vars(set map[string]bool)
+}
+
+// Env supplies values for free variables during evaluation.
+type Env map[string]int64
+
+// Tri is a three-valued truth value: the outcome of a comparison the compiler
+// may or may not be able to decide (paper §3.2: "Three outcomes are possible:
+// true, false, and inconclusive").
+type Tri int
+
+// Tri values.
+const (
+	No Tri = iota
+	Maybe
+	Yes
+)
+
+func (t Tri) String() string {
+	switch t {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	default:
+		return "maybe"
+	}
+}
+
+// C returns the constant expression v.
+func C(v int64) Expr { return Expr{c: v} }
+
+// V returns the variable expression name.
+func V(name string) Expr {
+	return Expr{terms: []term{{coef: 1, atom: varAtom(name)}}}
+}
+
+// atomExpr wraps a single atom with coefficient 1.
+func atomExpr(a atom) Expr {
+	return Expr{terms: []term{{coef: 1, atom: a}}}
+}
+
+// normalize sorts terms and removes zero coefficients, merging duplicates.
+func normalize(ts []term, c int64) Expr {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].atom.key() < ts[j].atom.key() })
+	out := ts[:0]
+	for _, t := range ts {
+		if t.coef == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].atom.key() == t.atom.key() {
+			out[n-1].coef += t.coef
+			if out[n-1].coef == 0 {
+				out = out[:n-1]
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	// Copy so callers cannot alias the input slice.
+	res := make([]term, len(out))
+	copy(res, out)
+	return Expr{terms: res, c: c}
+}
+
+// Add returns a+b.
+func Add(a, b Expr) Expr {
+	ts := make([]term, 0, len(a.terms)+len(b.terms))
+	ts = append(ts, a.terms...)
+	ts = append(ts, b.terms...)
+	return normalize(ts, a.c+b.c)
+}
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return Add(a, Neg(b)) }
+
+// Neg returns -a.
+func Neg(a Expr) Expr { return scale(a, -1) }
+
+func scale(a Expr, k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	ts := make([]term, len(a.terms))
+	for i, t := range a.terms {
+		ts[i] = term{coef: t.coef * k, atom: t.atom}
+	}
+	return Expr{terms: ts, c: a.c * k}
+}
+
+// Mul returns a*b, distributing constants over affine forms and falling back
+// to an opaque product atom when both operands are non-constant.
+func Mul(a, b Expr) Expr {
+	if k, ok := a.ConstVal(); ok {
+		return scale(b, k)
+	}
+	if k, ok := b.ConstVal(); ok {
+		return scale(a, k)
+	}
+	// Canonical order for the operands of the opaque product.
+	if a.String() > b.String() {
+		a, b = b, a
+	}
+	return atomExpr(prodAtom{a: a, b: b})
+}
+
+// Div returns floor(a/b). Constant cases fold; division by 1 is the identity.
+func Div(a, b Expr) Expr {
+	if k, ok := b.ConstVal(); ok {
+		if k == 1 {
+			return a
+		}
+		if av, ok2 := a.ConstVal(); ok2 && k != 0 {
+			return C(floorDiv(av, k))
+		}
+	}
+	return atomExpr(divAtom{e: a, m: b})
+}
+
+// Mod returns a mod b (Euclidean for constant positive b). When b is a
+// positive constant s, terms of a whose coefficients are multiples of s are
+// dropped and the constant part is reduced, since (x + k·s) mod s = x mod s.
+func Mod(a, b Expr) Expr {
+	if s, ok := b.ConstVal(); ok && s > 0 {
+		ts := make([]term, 0, len(a.terms))
+		for _, t := range a.terms {
+			if t.coef%s == 0 {
+				continue
+			}
+			ts = append(ts, t)
+		}
+		red := normalize(ts, eucMod(a.c, s))
+		if v, ok := red.ConstVal(); ok {
+			return C(eucMod(v, s))
+		}
+		// mod(mod(e, s), s) == mod(e, s)
+		if red.c == 0 && len(red.terms) == 1 && red.terms[0].coef == 1 {
+			if m, ok := red.terms[0].atom.(modAtom); ok {
+				if ms, ok2 := m.m.ConstVal(); ok2 && ms == s {
+					return atomExpr(m)
+				}
+			}
+		}
+		return atomExpr(modAtom{e: red, m: b})
+	}
+	return atomExpr(modAtom{e: a, m: b})
+}
+
+// Min returns min(a, b), folding constants and identical operands.
+func Min(a, b Expr) Expr {
+	if av, ok := a.ConstVal(); ok {
+		if bv, ok2 := b.ConstVal(); ok2 {
+			if av < bv {
+				return a
+			}
+			return b
+		}
+	}
+	if a.Equal(b) {
+		return a
+	}
+	if a.String() > b.String() {
+		a, b = b, a
+	}
+	return atomExpr(minAtom{a: a, b: b})
+}
+
+// Max returns max(a, b), folding constants and identical operands.
+func Max(a, b Expr) Expr {
+	if av, ok := a.ConstVal(); ok {
+		if bv, ok2 := b.ConstVal(); ok2 {
+			if av > bv {
+				return a
+			}
+			return b
+		}
+	}
+	if a.Equal(b) {
+		return a
+	}
+	if a.String() > b.String() {
+		a, b = b, a
+	}
+	return atomExpr(maxAtom{a: a, b: b})
+}
+
+// ConstVal reports whether e is a constant, and its value.
+func (e Expr) ConstVal() (int64, bool) {
+	if len(e.terms) == 0 {
+		return e.c, true
+	}
+	return 0, false
+}
+
+// IsZero reports whether e is the constant 0.
+func (e Expr) IsZero() bool { v, ok := e.ConstVal(); return ok && v == 0 }
+
+// Equal reports structural equality of canonical forms.
+func (e Expr) Equal(f Expr) bool {
+	if e.c != f.c || len(e.terms) != len(f.terms) {
+		return false
+	}
+	for i := range e.terms {
+		if e.terms[i].coef != f.terms[i].coef || e.terms[i].atom.key() != f.terms[i].atom.key() {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTri decides e == f as well as the algebra allows: Yes when the
+// canonical forms coincide, No when the difference is a non-zero constant,
+// No when both sides are mods by the same constant whose arguments differ by
+// a constant not divisible by the modulus (the "(j+1) mod S vs j mod S"
+// neighbours of cyclic decompositions), No when one side is a mod and the
+// other a constant outside [0, modulus), and Maybe otherwise.
+func EqualTri(e, f Expr) Tri {
+	d := Sub(e, f)
+	if v, ok := d.ConstVal(); ok {
+		if v == 0 {
+			return Yes
+		}
+		return No
+	}
+	if ae, se, eok := AsMod(e); eok {
+		if af, sf, fok := AsMod(f); fok && se == sf {
+			if dv, ok := Sub(ae, af).ConstVal(); ok {
+				if eucMod(dv, se) == 0 {
+					return Yes
+				}
+				return No
+			}
+		}
+		if fv, ok := f.ConstVal(); ok && (fv < 0 || fv >= se) {
+			return No
+		}
+	}
+	if _, sf, fok := AsMod(f); fok {
+		if ev, ok := e.ConstVal(); ok && (ev < 0 || ev >= sf) {
+			return No
+		}
+	}
+	return Maybe
+}
+
+// Eval evaluates e under env. Unbound variables, non-positive moduli and zero
+// divisors are errors.
+func (e Expr) Eval(env Env) (int64, error) {
+	v := e.c
+	for _, t := range e.terms {
+		av, err := t.atom.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		v += t.coef * av
+	}
+	return v, nil
+}
+
+// MustEval evaluates e and panics on error; for use with known-closed
+// expressions in tests and generated code.
+func (e Expr) MustEval(env Env) int64 {
+	v, err := e.Eval(env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Vars returns the free variables of e in sorted order.
+func (e Expr) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range e.terms {
+		t.atom.vars(set)
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVar reports whether name occurs free in e.
+func (e Expr) HasVar(name string) bool {
+	for _, v := range e.Vars() {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Subst returns e with every free occurrence of name replaced by r.
+func (e Expr) Subst(name string, r Expr) Expr {
+	out := C(e.c)
+	for _, t := range e.terms {
+		out = Add(out, scale(t.atom.subst(name, r), t.coef))
+	}
+	return out
+}
+
+// SubstAll applies a set of substitutions simultaneously.
+func (e Expr) SubstAll(sub map[string]Expr) Expr {
+	names := make([]string, 0, len(sub))
+	for n := range sub {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Simultaneity: first rename targets to fresh names, then substitute.
+	tmp := e
+	for i, n := range names {
+		tmp = tmp.Subst(n, V(fmt.Sprintf("\x00subst%d", i)))
+	}
+	for i, n := range names {
+		tmp = tmp.Subst(fmt.Sprintf("\x00subst%d", i), sub[n])
+	}
+	return tmp
+}
+
+// String renders e in canonical, re-parsable form.
+func (e Expr) String() string {
+	if len(e.terms) == 0 {
+		return fmt.Sprintf("%d", e.c)
+	}
+	var b strings.Builder
+	for i, t := range e.terms {
+		s := t.atom.key()
+		switch {
+		case t.coef == 1:
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			b.WriteString(s)
+		case t.coef == -1:
+			if i > 0 {
+				b.WriteString(" - ")
+				b.WriteString(s)
+			} else {
+				b.WriteString("-" + s)
+			}
+		case t.coef < 0 && i > 0:
+			fmt.Fprintf(&b, " - %d*%s", -t.coef, s)
+		default:
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%d*%s", t.coef, s)
+		}
+	}
+	if e.c > 0 {
+		fmt.Fprintf(&b, " + %d", e.c)
+	} else if e.c < 0 {
+		fmt.Fprintf(&b, " - %d", -e.c)
+	}
+	return b.String()
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// eucMod returns a mod m in [0, m) for m > 0.
+func eucMod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// FloorDiv and EucMod expose the integer helpers used throughout the
+// compiler and interpreters so all components agree on div/mod semantics.
+func FloorDiv(a, b int64) int64 { return floorDiv(a, b) }
+
+// EucMod returns a mod m in [0, m); m must be positive.
+func EucMod(a, m int64) int64 { return eucMod(a, m) }
+
+// --- atoms ---
+
+type varAtom string
+
+func (v varAtom) key() string { return string(v) }
+func (v varAtom) eval(env Env) (int64, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("expr: unbound variable %q", string(v))
+	}
+	return val, nil
+}
+func (v varAtom) subst(name string, r Expr) Expr {
+	if string(v) == name {
+		return r
+	}
+	return atomExpr(v)
+}
+func (v varAtom) vars(set map[string]bool) { set[string(v)] = true }
+
+type modAtom struct{ e, m Expr }
+
+func (a modAtom) key() string { return "((" + a.e.String() + ") mod " + a.m.String() + ")" }
+func (a modAtom) eval(env Env) (int64, error) {
+	ev, err := a.e.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	mv, err := a.m.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if mv <= 0 {
+		return 0, fmt.Errorf("expr: mod by non-positive %d", mv)
+	}
+	return eucMod(ev, mv), nil
+}
+func (a modAtom) subst(name string, r Expr) Expr {
+	return Mod(a.e.Subst(name, r), a.m.Subst(name, r))
+}
+func (a modAtom) vars(set map[string]bool) {
+	for _, v := range a.e.Vars() {
+		set[v] = true
+	}
+	for _, v := range a.m.Vars() {
+		set[v] = true
+	}
+}
+
+type divAtom struct{ e, m Expr }
+
+func (a divAtom) key() string { return "((" + a.e.String() + ") div " + a.m.String() + ")" }
+func (a divAtom) eval(env Env) (int64, error) {
+	ev, err := a.e.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	mv, err := a.m.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if mv == 0 {
+		return 0, fmt.Errorf("expr: division by zero")
+	}
+	return floorDiv(ev, mv), nil
+}
+func (a divAtom) subst(name string, r Expr) Expr {
+	return Div(a.e.Subst(name, r), a.m.Subst(name, r))
+}
+func (a divAtom) vars(set map[string]bool) {
+	for _, v := range a.e.Vars() {
+		set[v] = true
+	}
+	for _, v := range a.m.Vars() {
+		set[v] = true
+	}
+}
+
+type minAtom struct{ a, b Expr }
+
+func (a minAtom) key() string { return "min(" + a.a.String() + ", " + a.b.String() + ")" }
+func (a minAtom) eval(env Env) (int64, error) {
+	av, err := a.a.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := a.b.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if av < bv {
+		return av, nil
+	}
+	return bv, nil
+}
+func (a minAtom) subst(name string, r Expr) Expr {
+	return Min(a.a.Subst(name, r), a.b.Subst(name, r))
+}
+func (a minAtom) vars(set map[string]bool) {
+	for _, v := range a.a.Vars() {
+		set[v] = true
+	}
+	for _, v := range a.b.Vars() {
+		set[v] = true
+	}
+}
+
+type maxAtom struct{ a, b Expr }
+
+func (a maxAtom) key() string { return "max(" + a.a.String() + ", " + a.b.String() + ")" }
+func (a maxAtom) eval(env Env) (int64, error) {
+	av, err := a.a.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := a.b.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if av > bv {
+		return av, nil
+	}
+	return bv, nil
+}
+func (a maxAtom) subst(name string, r Expr) Expr {
+	return Max(a.a.Subst(name, r), a.b.Subst(name, r))
+}
+func (a maxAtom) vars(set map[string]bool) {
+	for _, v := range a.a.Vars() {
+		set[v] = true
+	}
+	for _, v := range a.b.Vars() {
+		set[v] = true
+	}
+}
+
+type prodAtom struct{ a, b Expr }
+
+func (a prodAtom) key() string { return "(" + a.a.String() + ")*(" + a.b.String() + ")" }
+func (a prodAtom) eval(env Env) (int64, error) {
+	av, err := a.a.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := a.b.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return av * bv, nil
+}
+func (a prodAtom) subst(name string, r Expr) Expr {
+	return Mul(a.a.Subst(name, r), a.b.Subst(name, r))
+}
+func (a prodAtom) vars(set map[string]bool) {
+	for _, v := range a.a.Vars() {
+		set[v] = true
+	}
+	for _, v := range a.b.Vars() {
+		set[v] = true
+	}
+}

@@ -1,0 +1,416 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		got  Expr
+		want int64
+	}{
+		{Add(C(2), C(3)), 5},
+		{Sub(C(2), C(3)), -1},
+		{Mul(C(4), C(-3)), -12},
+		{Div(C(7), C(2)), 3},
+		{Div(C(-7), C(2)), -4}, // floor division
+		{Mod(C(7), C(3)), 1},
+		{Mod(C(-7), C(3)), 2}, // Euclidean mod
+		{Min(C(3), C(9)), 3},
+		{Max(C(3), C(9)), 9},
+		{Neg(C(5)), -5},
+	}
+	for i, c := range cases {
+		v, ok := c.got.ConstVal()
+		if !ok {
+			t.Errorf("case %d: %v did not fold to a constant", i, c.got)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("case %d: got %d, want %d", i, v, c.want)
+		}
+	}
+}
+
+func TestAffineSimplification(t *testing.T) {
+	j := V("j")
+	// j + 1 - 1 == j
+	if got := Sub(Add(j, C(1)), C(1)); !got.Equal(j) {
+		t.Errorf("j+1-1 = %v, want j", got)
+	}
+	// 2j + 3j == 5j
+	if got := Add(Mul(C(2), j), Mul(C(3), j)); !got.Equal(Mul(C(5), j)) {
+		t.Errorf("2j+3j = %v, want 5j", got)
+	}
+	// j - j == 0
+	if got := Sub(j, j); !got.IsZero() {
+		t.Errorf("j-j = %v, want 0", got)
+	}
+}
+
+func TestModSimplification(t *testing.T) {
+	j := V("j")
+	s := C(4)
+	// (j + 8) mod 4 == j mod 4
+	if got, want := Mod(Add(j, C(8)), s), Mod(j, s); !got.Equal(want) {
+		t.Errorf("(j+8) mod 4 = %v, want %v", got, want)
+	}
+	// (j + 4k) mod 4 == j mod 4
+	if got, want := Mod(Add(j, Mul(C(4), V("k"))), s), Mod(j, s); !got.Equal(want) {
+		t.Errorf("(j+4k) mod 4 = %v, want %v", got, want)
+	}
+	// ((j mod 4) mod 4) == j mod 4
+	if got, want := Mod(Mod(j, s), s), Mod(j, s); !got.Equal(want) {
+		t.Errorf("(j mod 4) mod 4 = %v, want %v", got, want)
+	}
+	// (7) mod 4 == 3
+	if v, ok := Mod(C(7), s).ConstVal(); !ok || v != 3 {
+		t.Errorf("7 mod 4 = %v", Mod(C(7), s))
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := V("x").Eval(Env{}); err == nil {
+		t.Error("unbound variable should be an error")
+	}
+	if _, err := Mod(V("x"), V("m")).Eval(Env{"x": 1, "m": 0}); err == nil {
+		t.Error("mod by zero should be an error")
+	}
+	if _, err := Mod(V("x"), V("m")).Eval(Env{"x": 1, "m": -3}); err == nil {
+		t.Error("mod by negative should be an error")
+	}
+	if _, err := Div(V("x"), V("m")).Eval(Env{"x": 1, "m": 0}); err == nil {
+		t.Error("div by zero should be an error")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	j := V("j")
+	e := Mod(Add(j, C(1)), C(4))
+	got := e.Subst("j", C(7))
+	if v, ok := got.ConstVal(); !ok || v != 0 {
+		t.Errorf("subst j=7 into (j+1) mod 4: got %v, want 0", got)
+	}
+	// Substitution into nested atoms.
+	e2 := Div(Mul(V("i"), V("n")), C(2))
+	got2 := e2.Subst("i", C(6)).Subst("n", C(5))
+	if v, ok := got2.ConstVal(); !ok || v != 15 {
+		t.Errorf("got %v, want 15", got2)
+	}
+}
+
+func TestSubstAllSimultaneous(t *testing.T) {
+	// Swap i and j simultaneously: i+2j -> j+2i.
+	e := Add(V("i"), Mul(C(2), V("j")))
+	got := e.SubstAll(map[string]Expr{"i": V("j"), "j": V("i")})
+	want := Add(V("j"), Mul(C(2), V("i")))
+	if !got.Equal(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEqualTri(t *testing.T) {
+	j := V("j")
+	if got := EqualTri(Add(j, C(1)), Add(j, C(1))); got != Yes {
+		t.Errorf("identical exprs: %v, want yes", got)
+	}
+	if got := EqualTri(Add(j, C(1)), Add(j, C(2))); got != No {
+		t.Errorf("constant-offset exprs: %v, want no", got)
+	}
+	if got := EqualTri(V("i"), V("j")); got != Maybe {
+		t.Errorf("distinct vars: %v, want maybe", got)
+	}
+	if got := EqualTri(Mod(j, C(4)), C(2)); got != Maybe {
+		t.Errorf("mod vs const: %v, want maybe", got)
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := Add(Mod(Add(V("j"), C(1)), V("S")), Mul(V("i"), V("n")))
+	got := e.Vars()
+	want := []string{"S", "i", "j", "n"}
+	if len(got) != len(want) {
+		t.Fatalf("vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", got, want)
+		}
+	}
+	if !e.HasVar("S") || e.HasVar("k") {
+		t.Error("HasVar misreports")
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	// Commutative construction yields identical canonical strings.
+	a := Add(Add(V("a"), V("b")), C(3))
+	b := Add(C(3), Add(V("b"), V("a")))
+	if a.String() != b.String() {
+		t.Errorf("%q != %q", a.String(), b.String())
+	}
+	cases := map[string]Expr{
+		"j + 1":           Add(V("j"), C(1)),
+		"-j":              Neg(V("j")),
+		"2*j - 3":         Sub(Mul(C(2), V("j")), C(3)),
+		"((j + 1) mod 4)": Mod(Add(V("j"), C(1)), C(4)),
+		"0":               Expr{},
+	}
+	for want, e := range cases {
+		if e.String() != want {
+			t.Errorf("String() = %q, want %q", e.String(), want)
+		}
+	}
+}
+
+func TestSolveModEqSimple(t *testing.T) {
+	// (j+1) mod 4 == 2  =>  j ≡ 1 (mod 4)
+	inner, s, ok := AsMod(Mod(Add(V("j"), C(1)), C(4)))
+	if !ok || s != 4 {
+		t.Fatalf("AsMod failed: %v %v", s, ok)
+	}
+	sol, ok := SolveModEq(inner, s, C(2), "j")
+	if !ok {
+		t.Fatal("SolveModEq failed")
+	}
+	off, err := sol.Offset.Eval(Env{})
+	if err != nil || off != 1 {
+		t.Fatalf("offset = %v (%v), want 1", sol.Offset, err)
+	}
+	if sol.Stride != 4 {
+		t.Fatalf("stride = %d, want 4", sol.Stride)
+	}
+}
+
+func TestSolveModEqNegativeCoef(t *testing.T) {
+	// (5 - j) mod 3 == 1  =>  -j ≡ -4 ≡ 2 (mod 3)  =>  j ≡ 1 (mod 3)
+	sol, ok := SolveModEq(Sub(C(5), V("j")), 3, C(1), "j")
+	if !ok {
+		t.Fatal("SolveModEq failed")
+	}
+	for j := int64(0); j < 30; j++ {
+		want := EucMod(5-j, 3) == 1
+		got := EucMod(j-sol.Offset.MustEval(Env{}), sol.Stride) == 0
+		if want != got {
+			t.Fatalf("j=%d: solver says %v, direct check says %v", j, got, want)
+		}
+	}
+}
+
+func TestSolveModEqUndecidable(t *testing.T) {
+	// Coefficient not coprime with modulus.
+	if _, ok := SolveModEq(Mul(C(2), V("j")), 4, C(1), "j"); ok {
+		t.Error("2j mod 4 == 1 should be undecidable (gcd 2)")
+	}
+	// Variable inside an opaque atom.
+	if _, ok := SolveModEq(Div(V("j"), C(2)), 4, C(1), "j"); ok {
+		t.Error("j inside div should be undecidable")
+	}
+	// Target mentions the variable.
+	if _, ok := SolveModEq(V("j"), 4, V("j"), "j"); ok {
+		t.Error("target mentioning v should be rejected")
+	}
+	// Variable absent.
+	if _, ok := SolveModEq(V("i"), 4, C(1), "j"); ok {
+		t.Error("absent variable should be rejected")
+	}
+}
+
+func TestFirstAtLeast(t *testing.T) {
+	sol := Solution{Offset: C(3), Stride: 5}
+	for lo := int64(-7); lo < 20; lo++ {
+		first := sol.FirstAtLeast(C(lo)).MustEval(Env{})
+		if first < lo || EucMod(first-3, 5) != 0 || first-lo >= 5 {
+			t.Fatalf("FirstAtLeast(%d) = %d", lo, first)
+		}
+	}
+}
+
+// Property: SolveModEq's progression matches a brute-force scan of solutions.
+func TestSolveModEqMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		s := int64(rng.Intn(9) + 2)
+		coef := int64(rng.Intn(11) - 5)
+		if coef == 0 {
+			coef = 1
+		}
+		d := int64(rng.Intn(21) - 10)
+		p := int64(rng.Intn(int(s)))
+		e := Add(Mul(C(coef), V("j")), C(d))
+		sol, ok := SolveModEq(e, s, C(p), "j")
+		g, _, _ := extGCD(EucMod(coef, s), s)
+		if g != 1 {
+			if ok {
+				// Only acceptable if the solver refused; it must not claim ok.
+				t.Fatalf("gcd(%d,%d)=%d but solver claimed success", coef, s, g)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("solver failed on coprime case coef=%d s=%d", coef, s)
+		}
+		off := sol.Offset.MustEval(Env{})
+		for j := int64(-25); j <= 25; j++ {
+			direct := EucMod(coef*j+d, s) == p
+			bySol := EucMod(j-off, sol.Stride) == 0
+			if direct != bySol {
+				t.Fatalf("coef=%d d=%d s=%d p=%d j=%d: direct=%v solver=%v",
+					coef, d, s, p, j, direct, bySol)
+			}
+		}
+	}
+}
+
+// Property: Eval(Add(a,b)) == Eval(a)+Eval(b) etc. on random affine exprs.
+func TestArithmeticHomomorphism(t *testing.T) {
+	type lin struct{ A, B, C int64 }
+	env := Env{"x": 0, "y": 0}
+	mk := func(l lin) Expr { return Add(Add(Mul(C(l.A), V("x")), Mul(C(l.B), V("y"))), C(l.C)) }
+	f := func(p, q lin, x, y int16) bool {
+		env["x"], env["y"] = int64(x), int64(y)
+		a, b := mk(p), mk(q)
+		av, bv := a.MustEval(env), b.MustEval(env)
+		if Add(a, b).MustEval(env) != av+bv {
+			return false
+		}
+		if Sub(a, b).MustEval(env) != av-bv {
+			return false
+		}
+		if Mul(a, b).MustEval(env) != av*bv {
+			return false
+		}
+		if Neg(a).MustEval(env) != -av {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mod simplification is sound — simplified and unsimplified forms
+// evaluate identically.
+func TestModSimplificationSound(t *testing.T) {
+	f := func(a, b, k int16, s uint8) bool {
+		mod := int64(s%16) + 2
+		env := Env{"j": int64(a), "k": int64(k)}
+		// (j + b + mod*k) mod mod should equal (j + b) mod mod.
+		e1 := Mod(Add(Add(V("j"), C(int64(b))), Mul(C(mod), V("k"))), C(mod))
+		want := EucMod(int64(a)+int64(b), mod)
+		return e1.MustEval(env) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String is injective enough — equal strings imply Equal exprs for
+// randomly constructed expressions.
+func TestStringCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gen func(depth int) Expr
+	vars := []string{"i", "j", "k"}
+	gen = func(depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return C(int64(rng.Intn(9) - 4))
+			}
+			return V(vars[rng.Intn(len(vars))])
+		}
+		a, b := gen(depth-1), gen(depth-1)
+		switch rng.Intn(6) {
+		case 0:
+			return Add(a, b)
+		case 1:
+			return Sub(a, b)
+		case 2:
+			return Mul(a, b)
+		case 3:
+			return Mod(a, C(int64(rng.Intn(5)+2)))
+		case 4:
+			return Min(a, b)
+		default:
+			return Max(a, b)
+		}
+	}
+	exprs := make([]Expr, 200)
+	for i := range exprs {
+		exprs[i] = gen(3)
+	}
+	for i := range exprs {
+		for j := range exprs {
+			se, sf := exprs[i].String(), exprs[j].String()
+			if (se == sf) != exprs[i].Equal(exprs[j]) {
+				t.Fatalf("canonical string mismatch: %q vs %q, Equal=%v",
+					se, sf, exprs[i].Equal(exprs[j]))
+			}
+		}
+	}
+}
+
+func TestFloorDivEucModAgree(t *testing.T) {
+	f := func(a int32, b int16) bool {
+		bb := int64(b)
+		if bb == 0 {
+			return true
+		}
+		q := FloorDiv(int64(a), bb)
+		var r int64
+		if bb > 0 {
+			r = EucMod(int64(a), bb)
+			// a = q*b + r with 0 <= r < b
+			return q*bb+r == int64(a) && r >= 0 && r < bb
+		}
+		// floor property for negative divisor: q <= a/b < q+1 with b < 0
+		// multiplies through as q*b >= a > (q+1)*b.
+		return q*bb >= int64(a) && (q+1)*bb < int64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleSolveModEq() {
+	// Which iterations of "for j" does processor 2 own under wrapped columns
+	// (j+1) mod 4?
+	inner, s, _ := AsMod(Mod(Add(V("j"), C(1)), C(4)))
+	sol, _ := SolveModEq(inner, s, C(2), "j")
+	fmt.Printf("j ≡ %v (mod %d)\n", sol.Offset, sol.Stride)
+	fmt.Printf("first ≥ 2: %v\n", sol.FirstAtLeast(C(2)).MustEval(Env{}))
+	// Output:
+	// j ≡ 1 (mod 4)
+	// first ≥ 2: 5
+}
+
+func TestEqualTriModRules(t *testing.T) {
+	j := V("j")
+	s := C(4)
+	// (j+1) mod 4 vs j mod 4: never equal.
+	if got := EqualTri(Mod(Add(j, C(1)), s), Mod(j, s)); got != No {
+		t.Errorf("(j+1) mod 4 == j mod 4: %v, want no", got)
+	}
+	// (j+4) mod 4 vs j mod 4: always equal.
+	if got := EqualTri(Mod(Add(j, C(4)), s), Mod(j, s)); got != Yes {
+		t.Errorf("(j+4) mod 4 == j mod 4: %v, want yes", got)
+	}
+	// j mod 4 vs 6: impossible (range).
+	if got := EqualTri(Mod(j, s), C(6)); got != No {
+		t.Errorf("j mod 4 == 6: %v, want no", got)
+	}
+	if got := EqualTri(C(-1), Mod(j, s)); got != No {
+		t.Errorf("-1 == j mod 4: %v, want no", got)
+	}
+	// j mod 4 vs 2: depends on j.
+	if got := EqualTri(Mod(j, s), C(2)); got != Maybe {
+		t.Errorf("j mod 4 == 2: %v, want maybe", got)
+	}
+	// Different moduli: undecidable.
+	if got := EqualTri(Mod(j, C(4)), Mod(j, C(3))); got != Maybe {
+		t.Errorf("j mod 4 == j mod 3: %v, want maybe", got)
+	}
+}

@@ -1,0 +1,182 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError is a lexing or parsing failure with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns Idn source text into tokens. Comments run from "--" to the end
+// of the line.
+type Lexer struct {
+	src  string
+	off  int
+	pos  Pos
+	errs []*SyntaxError
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, pos: Pos{Line: 1, Col: 1}}
+}
+
+func (l *Lexer) errorf(pos Pos, format string, args ...any) {
+	l.errs = append(l.errs, &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.pos.Line++
+		l.pos.Col = 1
+	} else {
+		l.pos.Col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return Token{Kind: EOF, Pos: l.pos}
+}
+
+func (l *Lexer) lexToken() Token {
+	start := l.pos
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		text := b.String()
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Pos: start}
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start}
+	case isDigit(c):
+		var b strings.Builder
+		kind := INT
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		if l.peek() == '.' && isDigit(l.peek2()) {
+			kind = REAL
+			b.WriteByte(l.advance())
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				b.WriteByte(l.advance())
+			}
+		}
+		return Token{Kind: kind, Text: b.String(), Pos: start}
+	}
+
+	l.advance()
+	two := func(next byte, yes, no Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: yes, Pos: start}
+		}
+		return Token{Kind: no, Pos: start}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: start}
+	case ')':
+		return Token{Kind: RParen, Pos: start}
+	case '{':
+		return Token{Kind: LBrace, Pos: start}
+	case '}':
+		return Token{Kind: RBrace, Pos: start}
+	case '[':
+		return Token{Kind: LBrack, Pos: start}
+	case ']':
+		return Token{Kind: RBrack, Pos: start}
+	case ',':
+		return Token{Kind: Comma, Pos: start}
+	case ';':
+		return Token{Kind: Semi, Pos: start}
+	case ':':
+		return Token{Kind: Colon, Pos: start}
+	case '+':
+		return Token{Kind: Plus, Pos: start}
+	case '-':
+		return Token{Kind: Minus, Pos: start}
+	case '*':
+		return Token{Kind: Star, Pos: start}
+	case '/':
+		return Token{Kind: Slash, Pos: start}
+	case '=':
+		return two('=', Eq, Assign)
+	case '<':
+		return two('=', Le, Lt)
+	case '>':
+		return two('=', Ge, Gt)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Ne, Pos: start}
+		}
+	}
+	l.errorf(start, "unexpected character %q", string(c))
+	return l.Next()
+}
+
+// Tokenize lexes the whole input, returning tokens (ending with EOF) and any
+// lexical errors.
+func Tokenize(src string) ([]Token, []*SyntaxError) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, l.errs
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package lang implements the front end for Idn, the Id Nouveau subset the
+// process-decomposition compiler accepts (paper §2.1): a single-assignment
+// language with I-structure matrices and vectors, loops, conditionals, and
+// procedures, extended with the paper's domain-decomposition annotations —
+// the italicized code of Fig. 1. A program declares named decompositions
+// ("dist Column = cyclic_cols(NPROCS);") and attaches them to arrays and
+// scalars with "on" clauses.
+//
+// The package provides the token definitions, lexer, abstract syntax tree,
+// parser, and a pretty-printer whose output re-parses to the same tree.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	REAL
+
+	// Keywords.
+	KwConst
+	KwDist
+	KwProc
+	KwLet
+	KwFor
+	KwTo
+	KwBy
+	KwIf
+	KwElse
+	KwReturn
+	KwCall
+	KwMatrix
+	KwVector
+	KwOn
+	KwInt
+	KwReal
+	KwBool
+	KwAnd
+	KwOr
+	KwNot
+	KwDiv
+	KwMod
+	KwTrue
+	KwFalse
+	KwAll
+	KwMin
+	KwMax
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Colon
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Eq // ==
+	Ne // !=
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer", REAL: "real",
+	KwConst: "const", KwDist: "dist", KwProc: "proc", KwLet: "let",
+	KwFor: "for", KwTo: "to", KwBy: "by", KwIf: "if", KwElse: "else",
+	KwReturn: "return", KwCall: "call", KwMatrix: "matrix", KwVector: "vector",
+	KwOn: "on", KwInt: "int", KwReal: "real", KwBool: "bool",
+	KwAnd: "and", KwOr: "or", KwNot: "not", KwDiv: "div", KwMod: "mod",
+	KwTrue: "true", KwFalse: "false", KwAll: "all", KwMin: "min", KwMax: "max",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Comma: ",", Semi: ";", Colon: ":",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"const": KwConst, "dist": KwDist, "proc": KwProc, "let": KwLet,
+	"for": KwFor, "to": KwTo, "by": KwBy, "if": KwIf, "else": KwElse,
+	"return": KwReturn, "call": KwCall, "matrix": KwMatrix, "vector": KwVector,
+	"on": KwOn, "int": KwInt, "real": KwReal, "bool": KwBool,
+	"and": KwAnd, "or": KwOr, "not": KwNot, "div": KwDiv, "mod": KwMod,
+	"true": KwTrue, "false": KwFalse, "all": KwAll, "min": KwMin, "max": KwMax,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT, INT, REAL
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, REAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

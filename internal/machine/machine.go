@@ -1,0 +1,419 @@
+// Package machine simulates the message-passing multicomputer of the paper's
+// §2.2: n processors, each executing one process, communicating through
+// explicit sends and receives, where "the cost of accessing a data item is
+// binary — local access is more efficient than non-local access, but all
+// non-local accesses are equally expensive."
+//
+// Each simulated processor runs as a goroutine and carries a virtual clock
+// measured in abstract cycles. Compute advances the clock; Send charges the
+// sender a start-up cost plus a per-value packing cost and stamps the message
+// with its wire-arrival time; Recv waits for the matching (source, tag) FIFO,
+// advances the receiver's clock to the arrival stamp if it was earlier, and
+// charges an unpacking cost. Because processes interact only through these
+// point-to-point FIFOs and every receive names its source and tag, the
+// simulated clocks and delivered values are deterministic regardless of Go
+// scheduling. The execution time of a run is the makespan — the maximum
+// final clock over all processors — which is what the paper's Figures 6 and
+// 7 plot against the number of processors.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Cost is virtual time in abstract machine cycles.
+type Cost = uint64
+
+// Config calibrates the simulated machine. The defaults model the Intel
+// iPSC/2's defining property: message start-up costs hundreds of compute
+// operations ("message-passing systems typically take hundreds to thousands
+// of cycles to deliver messages", §1), so combining messages matters far more
+// than shaving arithmetic.
+type Config struct {
+	// Procs is the number of processors (one process per processor, §2.2).
+	Procs int
+	// OpCost is the cost of one scalar arithmetic operation.
+	OpCost Cost
+	// MemCost is the cost of one local I-structure read or write.
+	MemCost Cost
+	// LoopCost is the per-iteration loop bookkeeping cost.
+	LoopCost Cost
+	// SendStartup is the fixed CPU cost to initiate any send.
+	SendStartup Cost
+	// RecvStartup is the fixed CPU cost to complete any receive.
+	RecvStartup Cost
+	// PerValue is the packing/unpacking CPU cost per value transferred,
+	// charged to the sender and to the receiver.
+	PerValue Cost
+	// Latency is the wire time of flight, overlappable with computation.
+	Latency Cost
+	// ValueBytes is the size of one transferred value, for byte accounting.
+	ValueBytes int
+	// Placement, when non-nil, multiplexes the Procs virtual processes onto
+	// physical nodes: Placement[i] is the node running process i. Node CPUs
+	// serialize their residents' compute and message overhead, but time a
+	// process spends blocked in a receive occupies no CPU — §5.4's latency
+	// hiding. Nil means one process per processor (the paper's base model).
+	Placement []int
+}
+
+// DefaultConfig returns the iPSC/2-flavoured calibration used by the paper
+// reproduction benchmarks: with OpCost 1, a minimal message costs 350× a
+// scalar operation to send.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:       procs,
+		OpCost:      1,
+		MemCost:     1,
+		LoopCost:    1,
+		SendStartup: 350,
+		RecvStartup: 100,
+		PerValue:    2,
+		Latency:     50,
+		ValueBytes:  4,
+	}
+}
+
+// SharedMemoryConfig models the paper's other machine class (§1): a
+// shared-memory multiprocessor like the BBN Butterfly, where "the cost of
+// accessing a non-local data item (i.e., across the network) is on the order
+// of tens of cycles". Moving a value is just a remote read/write — cheap but
+// not free — so the same locality analysis still pays, just with smaller
+// constant factors.
+func SharedMemoryConfig(procs int) Config {
+	return Config{
+		Procs:       procs,
+		OpCost:      1,
+		MemCost:     1,
+		LoopCost:    1,
+		SendStartup: 10,
+		RecvStartup: 10,
+		PerValue:    1,
+		Latency:     5,
+		ValueBytes:  4,
+	}
+}
+
+// Value is the unit of data exchanged between processes.
+type Value = float64
+
+type message struct {
+	vals   []Value
+	arrive Cost
+}
+
+// key identifies a FIFO message queue within one destination's mailbox.
+type key struct {
+	src int
+	tag int64
+}
+
+// Breakdown partitions one process's virtual time: every cycle of its final
+// clock is compute, communication overhead (packing/unpacking and start-up),
+// or idle time spent blocked in a receive before the message arrived.
+type Breakdown struct {
+	Compute Cost
+	Comm    Cost
+	Idle    Cost
+}
+
+// Utilization is the fraction of the process's time spent computing.
+func (b Breakdown) Utilization() float64 {
+	total := b.Compute + b.Comm + b.Idle
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Compute) / float64(total)
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Messages  int64       // total messages sent
+	Values    int64       // total values transferred
+	Bytes     int64       // total bytes transferred
+	Makespan  Cost        // max final clock over all processors
+	ProcTimes []Cost      // final clock per processor
+	Breakdown []Breakdown // per-processor time partition
+}
+
+// MeanUtilization averages the compute fraction over all processors.
+func (s Stats) MeanUtilization() float64 {
+	if len(s.Breakdown) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range s.Breakdown {
+		sum += b.Utilization()
+	}
+	return sum / float64(len(s.Breakdown))
+}
+
+// Machine is one simulated multicomputer run. Create with New, execute with
+// Run, then inspect Stats. A Machine is not reusable after Run returns.
+type Machine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	boxes   []map[key][]message // per-destination mailboxes
+	waiting map[int]key         // blocked receivers and what they wait for
+	active  int                 // processes started and not yet finished
+	failed  error               // first failure; aborts everything
+
+	msgs, vals int64
+	procs      []*Proc
+	sched      *muxSched // nil unless Config.Placement multiplexes processes
+}
+
+// ErrDeadlock is returned by Run when every live process is blocked in Recv.
+var ErrDeadlock = errors.New("machine: deadlock: all processes blocked in receive")
+
+// errAborted interrupts processes blocked in Recv after another process
+// failed; Run reports the original failure.
+var errAborted = errors.New("machine: run aborted")
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("machine: Procs must be positive, got %d", cfg.Procs))
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 4
+	}
+	m := &Machine{cfg: cfg, waiting: map[int]key{}}
+	m.cond = sync.NewCond(&m.mu)
+	m.boxes = make([]map[key][]message, cfg.Procs)
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.boxes {
+		m.boxes[i] = map[key][]message{}
+		m.procs[i] = &Proc{id: i, m: m}
+	}
+	if cfg.Placement != nil {
+		sched, err := initMux(m, cfg.Placement)
+		if err != nil {
+			panic(err)
+		}
+		m.sched = sched
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Run executes body once per processor, concurrently, and waits for all
+// processes to finish. A panic in any process (an I-structure error, for
+// example) aborts the run and is returned as an error, as is deadlock.
+func (m *Machine) Run(body func(p *Proc)) error {
+	m.mu.Lock()
+	m.active = m.cfg.Procs
+	if m.sched != nil {
+		// Register every process before any runs, so the conservative
+		// scheduler's minimum is over the full set from the first action.
+		for _, p := range m.procs {
+			m.sched.start(p)
+		}
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range m.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				m.mu.Lock()
+				m.active--
+				if m.sched != nil {
+					m.sched.stop(p)
+				}
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+						// Secondary abort; keep the original failure.
+					} else if m.failed == nil {
+						m.failed = fmt.Errorf("machine: process %d failed: %v", p.id, r)
+					}
+				}
+				m.checkDeadlockLocked()
+				m.cond.Broadcast()
+				m.mu.Unlock()
+			}()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// checkDeadlockLocked flags deadlock when every live process is blocked in
+// Recv and no pending message can satisfy any of them. The second condition
+// matters: a receiver woken by a send still counts as waiting until it
+// reacquires the lock, so the count alone would misfire.
+func (m *Machine) checkDeadlockLocked() {
+	if m.failed != nil || m.active == 0 || len(m.waiting) != m.active {
+		return
+	}
+	for pid, k := range m.waiting {
+		if len(m.boxes[pid][k]) > 0 {
+			return
+		}
+	}
+	m.failed = ErrDeadlock
+}
+
+// Stats reports the metrics of a finished run.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Messages:  m.msgs,
+		Values:    m.vals,
+		Bytes:     m.vals * int64(m.cfg.ValueBytes),
+		ProcTimes: make([]Cost, len(m.procs)),
+		Breakdown: make([]Breakdown, len(m.procs)),
+	}
+	for i, p := range m.procs {
+		s.ProcTimes[i] = p.clock
+		s.Breakdown[i] = Breakdown{Compute: p.compute, Comm: p.comm, Idle: p.idle}
+		if p.clock > s.Makespan {
+			s.Makespan = p.clock
+		}
+	}
+	return s
+}
+
+// Proc is one simulated process, usable only from the goroutine Run gave it
+// to. Clock manipulation needs no locking (single writer); the machine mutex
+// guards only mailbox traffic.
+type Proc struct {
+	id    int
+	m     *Machine
+	clock Cost
+	// time partition (compute + comm + idle == clock)
+	compute Cost
+	comm    Cost
+	idle    Cost
+}
+
+// ID returns the processor number, 0..Procs-1 — the paper's mynode().
+func (p *Proc) ID() int { return p.id }
+
+// Procs returns the machine size.
+func (p *Proc) Procs() int { return p.m.cfg.Procs }
+
+// Clock returns the process's current virtual time.
+func (p *Proc) Clock() Cost { return p.clock }
+
+// Compute advances the clock by c cycles of local work.
+func (p *Proc) Compute(c Cost) {
+	if p.m.sched != nil {
+		p.muxCompute(c)
+		return
+	}
+	p.clock += c
+	p.compute += c
+}
+
+// Ops charges n scalar operations.
+func (p *Proc) Ops(n int64) { p.Compute(Cost(n) * p.m.cfg.OpCost) }
+
+// Mem charges n local I-structure accesses.
+func (p *Proc) Mem(n int64) { p.Compute(Cost(n) * p.m.cfg.MemCost) }
+
+// LoopStep charges one loop-iteration bookkeeping step.
+func (p *Proc) LoopStep() { p.Compute(p.m.cfg.LoopCost) }
+
+// Send transmits vals to processor dst with the given tag: the paper's
+// csend. The sender is charged start-up plus per-value packing; the message
+// arrives on the wire Latency cycles later. Sends are buffered and never
+// block (iPSC semantics: csend returns once the message is copied out).
+func (p *Proc) Send(dst int, tag int64, vals ...Value) {
+	if dst < 0 || dst >= p.m.cfg.Procs {
+		panic(fmt.Sprintf("machine: send to processor %d out of range [0,%d)", dst, p.m.cfg.Procs))
+	}
+	if p.m.sched != nil {
+		p.muxSend(dst, tag, vals)
+		return
+	}
+	cfg := &p.m.cfg
+	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	p.clock += over
+	p.comm += over
+	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
+
+	m := p.m
+	m.mu.Lock()
+	if m.failed != nil {
+		m.mu.Unlock()
+		panic(errAborted)
+	}
+	k := key{src: p.id, tag: tag}
+	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
+	m.msgs++
+	m.vals += int64(len(vals))
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Recv blocks until a message with the given tag from processor src is
+// available — the paper's crecv. The receiver's clock advances to the
+// message's arrival time if it was earlier (idle wait), then is charged
+// start-up plus per-value unpacking.
+func (p *Proc) Recv(src int, tag int64) []Value {
+	if src < 0 || src >= p.m.cfg.Procs {
+		panic(fmt.Sprintf("machine: recv from processor %d out of range [0,%d)", src, p.m.cfg.Procs))
+	}
+	if p.m.sched != nil {
+		return p.muxRecv(src, tag)
+	}
+	m := p.m
+	k := key{src: src, tag: tag}
+	m.mu.Lock()
+	for len(m.boxes[p.id][k]) == 0 {
+		if m.failed != nil {
+			m.mu.Unlock()
+			panic(errAborted)
+		}
+		m.waiting[p.id] = k
+		m.checkDeadlockLocked()
+		if m.failed != nil {
+			delete(m.waiting, p.id)
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			panic(errAborted)
+		}
+		m.cond.Wait()
+		delete(m.waiting, p.id)
+	}
+	q := m.boxes[p.id][k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.boxes[p.id], k)
+	} else {
+		m.boxes[p.id][k] = q[1:]
+	}
+	m.mu.Unlock()
+
+	if msg.arrive > p.clock {
+		p.idle += msg.arrive - p.clock
+		p.clock = msg.arrive
+	}
+	cfg := &p.m.cfg
+	over := cfg.RecvStartup + Cost(len(msg.vals))*cfg.PerValue
+	p.clock += over
+	p.comm += over
+	return msg.vals
+}
+
+// Recv1 receives a single-value message and returns the value.
+func (p *Proc) Recv1(src int, tag int64) Value {
+	vals := p.Recv(src, tag)
+	if len(vals) != 1 {
+		panic(fmt.Sprintf("machine: Recv1 got %d values", len(vals)))
+	}
+	return vals[0]
+}

@@ -1,0 +1,217 @@
+package machine
+
+import "fmt"
+
+// Multiplexed execution: several processes per processor.
+//
+// §2.2, footnote 2: "Strictly speaking, the iPSC permits multiple processes
+// to execute on a processor but we can take that into account simply by
+// increasing the number of processors in our model." §5.4 is the payoff:
+// "A good process decomposition places several processes on one processor to
+// ensure that when one process needs to wait for a remote reference the
+// processor running it will have work to do."
+//
+// Setting Config.Placement maps each virtual process to a physical node.
+// Node CPUs are serialized: compute and message-handling overhead of
+// co-resident processes cannot overlap, but time a process spends blocked
+// waiting for a message occupies no CPU — co-residents run during it. That
+// is exactly the latency hiding §5.4 describes.
+//
+// Determinism: a global conservative scheduler admits exactly one virtual
+// process action at a time, always the active process with the smallest
+// (clock, id) key. A process blocked in a receive is not active and rejoins
+// with its clock advanced to the message's arrival. Because every admitted
+// action has the globally minimal timestamp, no later action can causally
+// affect it, so simulated clocks are independent of Go scheduling — the same
+// guarantee the direct machine gives, extended to CPU contention.
+
+// muxSched is the conservative global scheduler used when Placement is set.
+type muxSched struct {
+	m     *Machine
+	node  []int  // virtual process -> physical node
+	nodes []Cost // physical node CPU clocks
+
+	// Per-process scheduler state, guarded by the machine mutex.
+	state []muxState
+}
+
+type muxState int
+
+const (
+	muxUnstarted muxState = iota
+	muxActive             // between actions or parked in acquire
+	muxWaiting            // blocked in a receive with an empty queue
+	muxFinished
+)
+
+// initMux validates the placement and builds the scheduler.
+func initMux(m *Machine, placement []int) (*muxSched, error) {
+	if len(placement) != m.cfg.Procs {
+		return nil, fmt.Errorf("machine: placement has %d entries for %d processes", len(placement), m.cfg.Procs)
+	}
+	maxNode := 0
+	for vp, n := range placement {
+		if n < 0 {
+			return nil, fmt.Errorf("machine: process %d placed on negative node %d", vp, n)
+		}
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	s := &muxSched{
+		m:     m,
+		node:  append([]int(nil), placement...),
+		nodes: make([]Cost, maxNode+1),
+		state: make([]muxState, m.cfg.Procs),
+	}
+	return s, nil
+}
+
+// start marks a process live; stop marks it finished. Both run under m.mu.
+func (s *muxSched) start(p *Proc) { s.state[p.id] = muxActive }
+
+func (s *muxSched) stop(p *Proc) {
+	s.state[p.id] = muxFinished
+	s.m.cond.Broadcast()
+}
+
+// myTurnLocked reports whether p holds the minimal (clock, id) key among
+// active processes.
+func (s *muxSched) myTurnLocked(p *Proc) bool {
+	for _, q := range s.m.procs {
+		if q == p || s.state[q.id] != muxActive {
+			continue
+		}
+		if q.clock < p.clock || (q.clock == p.clock && q.id < p.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until it is p's turn to act. Callers must hold m.mu and
+// must perform the whole action before releasing it (the scheduler admits
+// one action at a time by construction: every acquirer re-checks on each
+// wake-up, and only the minimal process proceeds).
+func (s *muxSched) acquireLocked(p *Proc) {
+	for !s.myTurnLocked(p) {
+		if s.m.failed != nil {
+			panic(errAborted)
+		}
+		s.m.cond.Wait()
+	}
+	if s.m.failed != nil {
+		panic(errAborted)
+	}
+}
+
+// busy charges c cycles of CPU to p's node, serializing with co-residents:
+// the work starts when both the process and the node are free.
+func (s *muxSched) busyLocked(p *Proc, c Cost) {
+	n := s.node[p.id]
+	start := p.clock
+	if s.nodes[n] > start {
+		start = s.nodes[n]
+	}
+	p.clock = start + c
+	s.nodes[n] = p.clock
+	s.m.cond.Broadcast()
+}
+
+// muxCompute is Proc.Compute under multiplexing.
+func (p *Proc) muxCompute(c Cost) {
+	m := p.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sched.acquireLocked(p)
+	m.sched.busyLocked(p, c)
+	p.compute += c
+}
+
+// muxSend is Proc.Send under multiplexing.
+func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
+	m := p.m
+	cfg := &m.cfg
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sched.acquireLocked(p)
+	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	m.sched.busyLocked(p, over)
+	p.comm += over
+	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
+	k := key{src: p.id, tag: tag}
+	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
+	m.msgs++
+	m.vals += int64(len(vals))
+	// If the destination is asleep waiting for exactly this message, it
+	// re-enters the active set NOW, atomically with the send — otherwise a
+	// process with a larger clock could be admitted before the receiver's
+	// goroutine wakes, breaking the deterministic admission order.
+	if m.sched.state[dst] == muxWaiting {
+		if wk, ok := m.waiting[dst]; ok && wk == k {
+			m.sched.state[dst] = muxActive
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// muxRecv is Proc.Recv under multiplexing. Waiting for the message occupies
+// no CPU; only the unpacking overhead does.
+func (p *Proc) muxRecv(src int, tag int64) []Value {
+	m := p.m
+	cfg := &m.cfg
+	k := key{src: src, tag: tag}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		m.sched.acquireLocked(p)
+		if len(m.boxes[p.id][k]) > 0 {
+			break
+		}
+		// Nothing to receive: step out of the active set so co-residents
+		// (and everyone else) can proceed.
+		m.sched.state[p.id] = muxWaiting
+		m.waiting[p.id] = k
+		m.checkDeadlockLocked()
+		if m.failed != nil {
+			delete(m.waiting, p.id)
+			m.sched.state[p.id] = muxActive
+			m.cond.Broadcast()
+			panic(errAborted)
+		}
+		m.cond.Broadcast()
+		m.cond.Wait()
+		delete(m.waiting, p.id)
+		m.sched.state[p.id] = muxActive
+		if m.failed != nil {
+			m.cond.Broadcast()
+			panic(errAborted)
+		}
+	}
+	q := m.boxes[p.id][k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.boxes[p.id], k)
+	} else {
+		m.boxes[p.id][k] = q[1:]
+	}
+	if msg.arrive > p.clock {
+		p.idle += msg.arrive - p.clock
+		p.clock = msg.arrive // waiting: no CPU charged
+	}
+	over := cfg.RecvStartup + Cost(len(msg.vals))*cfg.PerValue
+	m.sched.busyLocked(p, over)
+	p.comm += over
+	return msg.vals
+}
+
+// NodeTimes reports the physical node clocks of a multiplexed run (nil when
+// the machine was not multiplexed).
+func (m *Machine) NodeTimes() []Cost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sched == nil {
+		return nil
+	}
+	return append([]Cost(nil), m.sched.nodes...)
+}

@@ -1,0 +1,916 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"procdecomp/internal/dist"
+	"procdecomp/internal/lang"
+)
+
+type checker struct {
+	info      *Info
+	errs      []error
+	distDecls map[string]*lang.DistDecl
+	templates map[string]*lang.ProcDecl // mapping-polymorphic procedures
+
+	// per-procedure state
+	scopes  []map[string]*Symbol
+	curProc *Proc
+}
+
+func (c *checker) errorf(pos lang.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// collect gathers top-level declarations: constants (in order, with
+// overrides), dist declarations, and procedure headers.
+func (c *checker) collect() {
+	c.info.Consts["NPROCS"] = &Symbol{
+		Name: "NPROCS", Kind: SymConst, Type: Type{Base: lang.TInt},
+		Const: float64(c.info.Cfg.Procs), ConstIsInt: true,
+		Dist: dist.NewReplicated(c.info.Cfg.Procs),
+	}
+	for _, d := range c.info.Prog.Decls {
+		switch d := d.(type) {
+		case *lang.ConstDecl:
+			if c.lookupTop(d.Name) != nil {
+				c.errorf(d.Pos, "duplicate declaration of %s", d.Name)
+				continue
+			}
+			var v float64
+			var isInt bool
+			if over, ok := c.info.Cfg.Defines[d.Name]; ok {
+				v, isInt = float64(over), true
+			} else {
+				var err error
+				v, isInt, err = c.constEval(d.Value)
+				if err != nil {
+					c.errorf(d.Pos, "constant %s: %v", d.Name, err)
+					continue
+				}
+			}
+			base := lang.TReal
+			if isInt {
+				base = lang.TInt
+			}
+			c.info.Consts[d.Name] = &Symbol{
+				Name: d.Name, Kind: SymConst, Type: Type{Base: base},
+				Const: v, ConstIsInt: isInt,
+				Dist: dist.NewReplicated(c.info.Cfg.Procs),
+			}
+		case *lang.DistDecl:
+			if c.lookupTop(d.Name) != nil {
+				c.errorf(d.Pos, "duplicate declaration of %s", d.Name)
+				continue
+			}
+			c.distDecls[d.Name] = d
+		case *lang.ProcDecl:
+			if c.lookupTop(d.Name) != nil {
+				c.errorf(d.Pos, "duplicate declaration of %s", d.Name)
+				continue
+			}
+			if len(d.DistParams) > 0 {
+				c.templates[d.Name] = d
+			} else {
+				c.info.Procs[d.Name] = &Proc{Name: d.Name, Decl: d}
+			}
+		}
+	}
+}
+
+// lookupTop finds a top-level name of any kind.
+func (c *checker) lookupTop(name string) any {
+	if s, ok := c.info.Consts[name]; ok {
+		return s
+	}
+	if d, ok := c.distDecls[name]; ok {
+		return d
+	}
+	if p, ok := c.info.Procs[name]; ok {
+		return p
+	}
+	if t, ok := c.templates[name]; ok {
+		return t
+	}
+	return nil
+}
+
+// constEvalInt evaluates an expression that must be a compile-time integer.
+func (c *checker) constEvalInt(e lang.Expr) (int64, error) {
+	v, isInt, err := c.constEval(e)
+	if err != nil {
+		return 0, err
+	}
+	if !isInt {
+		return 0, fmt.Errorf("expected an integer constant, got %g", v)
+	}
+	return int64(v), nil
+}
+
+// constEval evaluates a compile-time constant expression over declared
+// constants and NPROCS.
+func (c *checker) constEval(e lang.Expr) (float64, bool, error) {
+	switch e := e.(type) {
+	case *lang.NumLit:
+		return e.Val, e.IsInt, nil
+	case *lang.VarRef:
+		s, ok := c.info.Consts[e.Name]
+		if !ok {
+			return 0, false, fmt.Errorf("%s is not a constant", e.Name)
+		}
+		return s.Const, s.ConstIsInt, nil
+	case *lang.UnExpr:
+		v, isInt, err := c.constEval(e.X)
+		if err != nil {
+			return 0, false, err
+		}
+		if e.Op != lang.OpNeg {
+			return 0, false, fmt.Errorf("operator %s not allowed in constants", e.Op)
+		}
+		return -v, isInt, nil
+	case *lang.BinExpr:
+		l, li, err := c.constEval(e.L)
+		if err != nil {
+			return 0, false, err
+		}
+		r, ri, err := c.constEval(e.R)
+		if err != nil {
+			return 0, false, err
+		}
+		bothInt := li && ri
+		switch e.Op {
+		case lang.OpAdd:
+			return l + r, bothInt, nil
+		case lang.OpSub:
+			return l - r, bothInt, nil
+		case lang.OpMul:
+			return l * r, bothInt, nil
+		case lang.OpDivReal:
+			if r == 0 {
+				return 0, false, fmt.Errorf("division by zero in constant")
+			}
+			return l / r, false, nil
+		case lang.OpDivInt, lang.OpMod:
+			if !bothInt {
+				return 0, false, fmt.Errorf("%s requires integer operands", e.Op)
+			}
+			if r == 0 {
+				return 0, false, fmt.Errorf("division by zero in constant")
+			}
+			if e.Op == lang.OpDivInt {
+				return float64(floorDiv(int64(l), int64(r))), true, nil
+			}
+			return float64(eucMod(int64(l), int64(r))), true, nil
+		case lang.OpMin:
+			if l < r {
+				return l, bothInt, nil
+			}
+			return r, bothInt, nil
+		case lang.OpMax:
+			if l > r {
+				return l, bothInt, nil
+			}
+			return r, bothInt, nil
+		default:
+			return 0, false, fmt.Errorf("operator %s not allowed in constants", e.Op)
+		}
+	default:
+		return 0, false, fmt.Errorf("expression is not a compile-time constant")
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func eucMod(a, m int64) int64 {
+	if m < 0 {
+		m = -m
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// bindDist resolves a mapping annotation into a bound decomposition for data
+// of the given shape. A nil annotation defaults to replicated.
+func (c *checker) bindDist(m *lang.MapExpr, shape []int64, pos lang.Pos) dist.Dist {
+	procs := c.info.Cfg.Procs
+	if m == nil {
+		return dist.NewReplicated(procs, shape...)
+	}
+	switch m.Kind {
+	case lang.MapAll:
+		return dist.NewReplicated(procs, shape...)
+	case lang.MapProc:
+		p, err := c.constEvalInt(m.Proc)
+		if err != nil {
+			c.errorf(m.Pos, "proc(...) mapping: %v", err)
+			return dist.NewReplicated(procs, shape...)
+		}
+		if p < 0 || p >= procs {
+			c.errorf(m.Pos, "proc(%d) out of range [0, %d)", p, procs)
+			return dist.NewReplicated(procs, shape...)
+		}
+		return dist.NewSingle(procs, p, shape...)
+	case lang.MapNamed:
+		dd, ok := c.distDecls[m.Name]
+		if !ok {
+			c.errorf(m.Pos, "undefined decomposition %s", m.Name)
+			return dist.NewReplicated(procs, shape...)
+		}
+		wantRank := 2
+		if dd.Builtin == "cyclic" || dd.Builtin == "block" {
+			wantRank = 1
+		}
+		if len(shape) != wantRank {
+			if wantRank == 2 {
+				c.errorf(m.Pos, "decomposition %s applies to matrices, not %d-dimensional data", m.Name, len(shape))
+			} else {
+				c.errorf(m.Pos, "decomposition %s applies to vectors, not %d-dimensional data", m.Name, len(shape))
+			}
+			return dist.NewReplicated(procs, shape...)
+		}
+		args := make([]int64, len(dd.Args))
+		for i, a := range dd.Args {
+			v, err := c.constEvalInt(a)
+			if err != nil {
+				c.errorf(dd.Pos, "decomposition %s argument %d: %v", dd.Name, i+1, err)
+				return dist.NewReplicated(procs, shape...)
+			}
+			args[i] = v
+		}
+		need := 1
+		if dd.Builtin == "block2d" {
+			need = 2
+		}
+		if len(args) != need {
+			c.errorf(dd.Pos, "decomposition %s expects %d argument(s), got %d", dd.Builtin, need, len(args))
+			return dist.NewReplicated(procs, shape...)
+		}
+		for _, a := range args {
+			if a <= 0 {
+				c.errorf(dd.Pos, "decomposition %s: arguments must be positive", dd.Builtin)
+				return dist.NewReplicated(procs, shape...)
+			}
+		}
+		switch dd.Builtin {
+		case "cyclic_cols", "cyclic_rows", "block_cols", "block_rows", "cyclic", "block":
+			if args[0] > procs {
+				c.errorf(dd.Pos, "decomposition %s(%d) exceeds machine size %d", dd.Builtin, args[0], procs)
+				return dist.NewReplicated(procs, shape...)
+			}
+		case "block2d":
+			if args[0]*args[1] > procs {
+				c.errorf(dd.Pos, "decomposition block2d(%d, %d) exceeds machine size %d", args[0], args[1], procs)
+				return dist.NewReplicated(procs, shape...)
+			}
+		}
+		switch dd.Builtin {
+		case "cyclic_cols":
+			return dist.NewCyclicCols(args[0], shape[0], shape[1])
+		case "cyclic_rows":
+			return dist.NewCyclicRows(args[0], shape[0], shape[1])
+		case "block_cols":
+			return dist.NewBlockCols(args[0], shape[0], shape[1])
+		case "block_rows":
+			return dist.NewBlockRows(args[0], shape[0], shape[1])
+		case "block2d":
+			return dist.NewBlock2D(args[0], args[1], shape[0], shape[1])
+		case "cyclic":
+			return dist.NewCyclicVec(args[0], shape[0])
+		case "block":
+			return dist.NewBlockVec(args[0], shape[0])
+		default:
+			c.errorf(dd.Pos, "unknown decomposition builtin %s", dd.Builtin)
+			return dist.NewReplicated(procs, shape...)
+		}
+	}
+	c.errorf(pos, "unsupported mapping")
+	return dist.NewReplicated(procs, shape...)
+}
+
+// resolveType turns a syntactic type into a resolved one (dimensions
+// const-evaluated).
+func (c *checker) resolveType(t *lang.TypeExpr) (Type, bool) {
+	rt := Type{Base: t.Base}
+	for _, d := range t.Dims {
+		v, err := c.constEvalInt(d)
+		if err != nil {
+			c.errorf(t.Pos, "array dimension: %v", err)
+			return rt, false
+		}
+		if v <= 0 {
+			c.errorf(t.Pos, "array dimension must be positive, got %d", v)
+			return rt, false
+		}
+		rt.Dims = append(rt.Dims, v)
+	}
+	return rt, true
+}
+
+// --- recursion check ---
+
+func (c *checker) checkRecursion() {
+	// Build the call graph over monomorphic procedures.
+	graph := map[string][]string{}
+	for name, p := range c.info.Procs {
+		var callees []string
+		collectCalls(p.Decl.Body, &callees)
+		graph[name] = callees
+	}
+	// Iterative DFS cycle detection, visiting procedures in sorted order for
+	// deterministic error messages.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(name string) bool
+	visit = func(name string) bool {
+		color[name] = gray
+		for _, callee := range graph[name] {
+			if _, ok := c.info.Procs[callee]; !ok {
+				continue // undefined callee reported during body checking
+			}
+			switch color[callee] {
+			case gray:
+				c.errorf(c.info.Procs[name].Decl.Pos,
+					"recursion between %s and %s: compile-time resolution requires a non-recursive call graph", name, callee)
+				return false
+			case white:
+				if !visit(callee) {
+					return false
+				}
+			}
+		}
+		color[name] = black
+		return true
+	}
+	names := make([]string, 0, len(graph))
+	for n := range graph {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if color[n] == white && !visit(n) {
+			return
+		}
+	}
+}
+
+func collectCalls(b *lang.Block, out *[]string) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.Stmts {
+		switch st := st.(type) {
+		case *lang.CallStmt:
+			*out = append(*out, st.Name)
+		case *lang.LetStmt:
+			collectCallsExpr(st.Init, out)
+		case *lang.AssignStmt:
+			collectCallsExpr(st.Value, out)
+		case *lang.StoreStmt:
+			collectCallsExpr(st.Value, out)
+			for _, ix := range st.Indices {
+				collectCallsExpr(ix, out)
+			}
+		case *lang.ForStmt:
+			collectCallsExpr(st.Lo, out)
+			collectCallsExpr(st.Hi, out)
+			if st.Step != nil {
+				collectCallsExpr(st.Step, out)
+			}
+			collectCalls(st.Body, out)
+		case *lang.IfStmt:
+			collectCallsExpr(st.Cond, out)
+			collectCalls(st.Then, out)
+			collectCalls(st.Else, out)
+		case *lang.ReturnStmt:
+			if st.Value != nil {
+				collectCallsExpr(st.Value, out)
+			}
+		}
+	}
+}
+
+func collectCallsExpr(e lang.Expr, out *[]string) {
+	switch e := e.(type) {
+	case *lang.CallExpr:
+		*out = append(*out, e.Name)
+		for _, a := range e.Args {
+			collectCallsExpr(a, out)
+		}
+	case *lang.BinExpr:
+		collectCallsExpr(e.L, out)
+		collectCallsExpr(e.R, out)
+	case *lang.UnExpr:
+		collectCallsExpr(e.X, out)
+	case *lang.IndexExpr:
+		for _, ix := range e.Indices {
+			collectCallsExpr(ix, out)
+		}
+	case *lang.AllocExpr:
+		for _, d := range e.Dims {
+			collectCallsExpr(d, out)
+		}
+	}
+}
+
+// --- procedure bodies ---
+
+func (c *checker) checkProcs() {
+	// Resolve signatures first so calls can be checked in any order.
+	names := make([]string, 0, len(c.info.Procs))
+	for n := range c.info.Procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.resolveSignature(c.info.Procs[n])
+	}
+	if len(c.errs) > 0 {
+		return
+	}
+	for _, n := range names {
+		c.checkBody(c.info.Procs[n])
+	}
+}
+
+func (c *checker) resolveSignature(p *Proc) {
+	d := p.Decl
+	for i := range d.Params {
+		prm := &d.Params[i]
+		t, ok := c.resolveType(&prm.Type)
+		if !ok {
+			continue
+		}
+		kind := SymScalar
+		if t.IsArray() {
+			kind = SymArray
+		}
+		sym := &Symbol{Name: prm.Name, Kind: kind, Type: t,
+			Dist: c.bindDist(prm.Map, t.Dims, prm.Pos)}
+		p.Params = append(p.Params, sym)
+	}
+	if d.RetType != nil {
+		t, ok := c.resolveType(d.RetType)
+		if !ok {
+			return
+		}
+		p.RetType = &t
+		if t.IsArray() && d.RetMap == nil {
+			c.errorf(d.Pos, "procedure %s returns an array and must declare its return mapping", d.Name)
+			return
+		}
+		p.RetDist = c.bindDist(d.RetMap, t.Dims, d.Pos)
+	}
+}
+
+func (c *checker) checkBody(p *Proc) {
+	c.curProc = p
+	c.scopes = []map[string]*Symbol{{}}
+	for _, sym := range p.Params {
+		c.declare(p.Decl.Pos, sym)
+	}
+	c.checkBlock(p.Decl.Body)
+	c.scopes = nil
+	c.curProc = nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos lang.Pos, sym *Symbol) {
+	if c.lookup(sym.Name) != nil || c.lookupTop(sym.Name) != nil {
+		c.errorf(pos, "%s is already declared; shadowing is not allowed", sym.Name)
+		return
+	}
+	c.scopes[len(c.scopes)-1][sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// lookupVar resolves a name to a local symbol or a constant.
+func (c *checker) lookupVar(name string) *Symbol {
+	if s := c.lookup(name); s != nil {
+		return s
+	}
+	if s, ok := c.info.Consts[name]; ok {
+		return s
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *lang.Block) {
+	c.pushScope()
+	defer c.popScope()
+	for _, st := range b.Stmts {
+		c.checkStmt(st)
+	}
+}
+
+func (c *checker) checkStmt(st lang.Stmt) {
+	switch st := st.(type) {
+	case *lang.LetStmt:
+		c.checkLet(st)
+	case *lang.AssignStmt:
+		sym := c.lookupVar(st.Name)
+		if sym == nil {
+			c.errorf(st.Pos, "undefined variable %s", st.Name)
+			return
+		}
+		switch sym.Kind {
+		case SymLoopVar:
+			c.errorf(st.Pos, "cannot assign to loop variable %s", st.Name)
+			return
+		case SymConst:
+			c.errorf(st.Pos, "cannot assign to constant %s", st.Name)
+			return
+		case SymArray:
+			c.errorf(st.Pos, "cannot assign whole array %s; write elements instead", st.Name)
+			return
+		}
+		vt, ok := c.checkExpr(st.Value)
+		if !ok {
+			return
+		}
+		if !assignable(sym.Type, vt) {
+			c.errorf(st.Pos, "cannot assign %s to %s %s", vt, sym.Type, st.Name)
+			return
+		}
+		c.info.Refs[st] = sym
+	case *lang.StoreStmt:
+		sym := c.lookupVar(st.Array)
+		if sym == nil {
+			c.errorf(st.Pos, "undefined array %s", st.Array)
+			return
+		}
+		if sym.Kind != SymArray {
+			c.errorf(st.Pos, "%s is a %s, not an array", st.Array, sym.Kind)
+			return
+		}
+		if len(st.Indices) != len(sym.Type.Dims) {
+			c.errorf(st.Pos, "%s has rank %d but is indexed with %d subscripts",
+				st.Array, len(sym.Type.Dims), len(st.Indices))
+			return
+		}
+		for _, ix := range st.Indices {
+			if t, ok := c.checkExpr(ix); ok && t.Base != lang.TInt {
+				c.errorf(ix.Position(), "array subscript must be int, got %s", t)
+			}
+		}
+		if vt, ok := c.checkExpr(st.Value); ok && !vt.IsNumeric() {
+			c.errorf(st.Pos, "array element must be numeric, got %s", vt)
+		}
+		c.info.Refs[st] = sym
+	case *lang.ForStmt:
+		for _, e := range []lang.Expr{st.Lo, st.Hi} {
+			if t, ok := c.checkExpr(e); ok && t.Base != lang.TInt {
+				c.errorf(e.Position(), "loop bound must be int, got %s", t)
+			}
+		}
+		if st.Step != nil {
+			if t, ok := c.checkExpr(st.Step); ok && t.Base != lang.TInt {
+				c.errorf(st.Step.Position(), "loop step must be int, got %s", t)
+			}
+			if v, err := c.constEvalInt(st.Step); err == nil && v <= 0 {
+				c.errorf(st.Step.Position(), "loop step must be positive, got %d", v)
+			}
+		}
+		sym := &Symbol{Name: st.Var, Kind: SymLoopVar, Type: Type{Base: lang.TInt},
+			Dist: dist.NewReplicated(c.info.Cfg.Procs)}
+		c.pushScope()
+		c.declare(st.Pos, sym)
+		c.info.Refs[st] = sym
+		c.checkBlock(st.Body)
+		c.popScope()
+	case *lang.IfStmt:
+		if t, ok := c.checkExpr(st.Cond); ok && t.Base != lang.TBool {
+			c.errorf(st.Cond.Position(), "if condition must be bool, got %s", t)
+		}
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkBlock(st.Else)
+		}
+	case *lang.CallStmt:
+		c.checkCall(st.Pos, st.Name, st.DistArgs, st.Args)
+	case *lang.ReturnStmt:
+		p := c.curProc
+		if p.RetType == nil {
+			if st.Value != nil {
+				c.errorf(st.Pos, "procedure %s returns no value", p.Name)
+			}
+			return
+		}
+		if st.Value == nil {
+			c.errorf(st.Pos, "procedure %s must return a %s", p.Name, *p.RetType)
+			return
+		}
+		vt, ok := c.checkExpr(st.Value)
+		if !ok {
+			return
+		}
+		if p.RetType.IsArray() {
+			vr, isVar := st.Value.(*lang.VarRef)
+			if !isVar {
+				c.errorf(st.Pos, "array return value must be a variable")
+				return
+			}
+			sym := c.info.SymbolOf(vr)
+			if !sym.Type.Equal(*p.RetType) {
+				c.errorf(st.Pos, "return type mismatch: %s vs declared %s", sym.Type, *p.RetType)
+				return
+			}
+			if sym.Dist.String() != p.RetDist.String() {
+				c.errorf(st.Pos, "returned array %s has mapping %s but the procedure declares %s; redistribution on return is not supported",
+					sym.Name, sym.Dist, p.RetDist)
+			}
+			return
+		}
+		if !assignable(*p.RetType, vt) {
+			c.errorf(st.Pos, "cannot return %s from procedure returning %s", vt, *p.RetType)
+		}
+	default:
+		c.errorf(st.Position(), "unsupported statement")
+	}
+}
+
+func (c *checker) checkLet(st *lang.LetStmt) {
+	if alloc, ok := st.Init.(*lang.AllocExpr); ok {
+		dims := make([]int64, len(alloc.Dims))
+		for i, d := range alloc.Dims {
+			v, err := c.constEvalInt(d)
+			if err != nil {
+				c.errorf(d.Position(), "allocation dimension: %v", err)
+				return
+			}
+			if v <= 0 {
+				c.errorf(d.Position(), "allocation dimension must be positive, got %d", v)
+				return
+			}
+			dims[i] = v
+		}
+		t := Type{Base: alloc.Base, Dims: dims}
+		if st.Type != nil {
+			declared, ok := c.resolveType(st.Type)
+			if ok && !declared.Equal(t) {
+				c.errorf(st.Pos, "declared type %s does not match allocation %s", declared, t)
+			}
+		}
+		c.info.Types[alloc] = t
+		sym := &Symbol{Name: st.Name, Kind: SymArray, Type: t,
+			Dist: c.bindDist(st.Map, dims, st.Pos)}
+		c.declare(st.Pos, sym)
+		c.info.Refs[st] = sym
+		return
+	}
+	vt, ok := c.checkExpr(st.Init)
+	if !ok {
+		return
+	}
+	if vt.IsArray() {
+		// Array-valued call results bind like allocations.
+		sym := &Symbol{Name: st.Name, Kind: SymArray, Type: vt,
+			Dist: c.bindDist(st.Map, vt.Dims, st.Pos)}
+		if call, isCall := st.Init.(*lang.CallExpr); isCall {
+			callee := c.info.Procs[call.Name]
+			if st.Map == nil {
+				sym.Dist = callee.RetDist
+			} else if sym.Dist.String() != callee.RetDist.String() {
+				c.errorf(st.Pos, "let %s declares mapping %s but %s returns %s",
+					st.Name, sym.Dist, call.Name, callee.RetDist)
+			}
+		} else {
+			c.errorf(st.Pos, "arrays can only be bound to allocations or calls")
+			return
+		}
+		c.declare(st.Pos, sym)
+		c.info.Refs[st] = sym
+		return
+	}
+	t := vt
+	if st.Type != nil {
+		declared, ok := c.resolveType(st.Type)
+		if !ok {
+			return
+		}
+		if !assignable(declared, vt) {
+			c.errorf(st.Pos, "cannot initialize %s %s with %s", declared, st.Name, vt)
+			return
+		}
+		t = declared
+	}
+	sym := &Symbol{Name: st.Name, Kind: SymScalar, Type: t,
+		Dist: c.bindDist(st.Map, nil, st.Pos)}
+	c.declare(st.Pos, sym)
+	c.info.Refs[st] = sym
+}
+
+// checkCall validates a call and returns the callee.
+func (c *checker) checkCall(pos lang.Pos, name string, distArgs []lang.MapExpr, args []lang.Expr) *Proc {
+	callee, ok := c.info.Procs[name]
+	if !ok {
+		if _, isTemplate := c.templates[name]; isTemplate {
+			c.errorf(pos, "call to mapping-polymorphic %s requires instantiation, e.g. %s[proc(0)](...)", name, name)
+		} else {
+			c.errorf(pos, "undefined procedure %s", name)
+		}
+		return nil
+	}
+	if len(distArgs) > 0 {
+		// Instantiations are resolved during monomorphization; any left over
+		// mean the callee was not polymorphic.
+		c.errorf(pos, "%s is not mapping-polymorphic", name)
+		return nil
+	}
+	if len(args) != len(callee.Params) {
+		c.errorf(pos, "%s expects %d argument(s), got %d", name, len(callee.Params), len(args))
+		return nil
+	}
+	for i, a := range args {
+		prm := callee.Params[i]
+		at, ok := c.checkExpr(a)
+		if !ok {
+			continue
+		}
+		if prm.Type.IsArray() {
+			vr, isVar := a.(*lang.VarRef)
+			if !isVar {
+				c.errorf(a.Position(), "argument %d of %s must be an array variable", i+1, name)
+				continue
+			}
+			sym := c.info.SymbolOf(vr)
+			if sym.Kind != SymArray || !sym.Type.Equal(prm.Type) {
+				c.errorf(a.Position(), "argument %d of %s: have %s, want %s", i+1, name, at, prm.Type)
+				continue
+			}
+			// §5.2 restriction, adapted: array arguments must agree in
+			// mapping; scalars are coerced (Fig. 4/Fig. 8 behaviour).
+			if sym.Dist.String() != prm.Dist.String() {
+				c.errorf(a.Position(), "argument %d of %s: array mapping %s does not match parameter mapping %s (redistribution at calls is not supported)",
+					i+1, name, sym.Dist, prm.Dist)
+			}
+			continue
+		}
+		if !assignable(prm.Type, at) {
+			c.errorf(a.Position(), "argument %d of %s: have %s, want %s", i+1, name, at, prm.Type)
+		}
+	}
+	return callee
+}
+
+// assignable reports whether a value of type src may initialize dst
+// (ints promote to reals).
+func assignable(dst, src Type) bool {
+	if dst.Equal(src) {
+		return true
+	}
+	return dst.Base == lang.TReal && src.Base == lang.TInt
+}
+
+func (c *checker) checkExpr(e lang.Expr) (Type, bool) {
+	t, ok := c.checkExprInner(e)
+	if ok {
+		c.info.Types[e] = t
+	}
+	return t, ok
+}
+
+func (c *checker) checkExprInner(e lang.Expr) (Type, bool) {
+	switch e := e.(type) {
+	case *lang.NumLit:
+		if e.IsInt {
+			return Type{Base: lang.TInt}, true
+		}
+		return Type{Base: lang.TReal}, true
+	case *lang.BoolLit:
+		return Type{Base: lang.TBool}, true
+	case *lang.VarRef:
+		sym := c.lookupVar(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos, "undefined variable %s", e.Name)
+			return Type{}, false
+		}
+		c.info.Refs[e] = sym
+		return sym.Type, true
+	case *lang.IndexExpr:
+		sym := c.lookupVar(e.Array)
+		if sym == nil {
+			c.errorf(e.Pos, "undefined array %s", e.Array)
+			return Type{}, false
+		}
+		if sym.Kind != SymArray {
+			c.errorf(e.Pos, "%s is a %s, not an array", e.Array, sym.Kind)
+			return Type{}, false
+		}
+		if len(e.Indices) != len(sym.Type.Dims) {
+			c.errorf(e.Pos, "%s has rank %d but is indexed with %d subscripts",
+				e.Array, len(sym.Type.Dims), len(e.Indices))
+			return Type{}, false
+		}
+		for _, ix := range e.Indices {
+			if t, ok := c.checkExpr(ix); ok && t.Base != lang.TInt {
+				c.errorf(ix.Position(), "array subscript must be int, got %s", t)
+			}
+		}
+		c.info.Refs[e] = sym
+		return Type{Base: lang.TReal}, true
+	case *lang.UnExpr:
+		xt, ok := c.checkExpr(e.X)
+		if !ok {
+			return Type{}, false
+		}
+		switch e.Op {
+		case lang.OpNeg:
+			if !xt.IsNumeric() {
+				c.errorf(e.Pos, "operator - requires a numeric operand, got %s", xt)
+				return Type{}, false
+			}
+			return xt, true
+		case lang.OpNot:
+			if xt.Base != lang.TBool {
+				c.errorf(e.Pos, "operator not requires a bool operand, got %s", xt)
+				return Type{}, false
+			}
+			return xt, true
+		}
+		c.errorf(e.Pos, "unsupported unary operator")
+		return Type{}, false
+	case *lang.BinExpr:
+		lt, lok := c.checkExpr(e.L)
+		rt, rok := c.checkExpr(e.R)
+		if !lok || !rok {
+			return Type{}, false
+		}
+		switch e.Op {
+		case lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpMin, lang.OpMax:
+			if !lt.IsNumeric() || !rt.IsNumeric() {
+				c.errorf(e.Pos, "operator %s requires numeric operands, got %s and %s", e.Op, lt, rt)
+				return Type{}, false
+			}
+			if lt.Base == lang.TReal || rt.Base == lang.TReal {
+				return Type{Base: lang.TReal}, true
+			}
+			return Type{Base: lang.TInt}, true
+		case lang.OpDivReal:
+			if !lt.IsNumeric() || !rt.IsNumeric() {
+				c.errorf(e.Pos, "operator / requires numeric operands, got %s and %s", lt, rt)
+				return Type{}, false
+			}
+			return Type{Base: lang.TReal}, true
+		case lang.OpDivInt, lang.OpMod:
+			if lt.Base != lang.TInt || rt.Base != lang.TInt {
+				c.errorf(e.Pos, "operator %s requires int operands, got %s and %s", e.Op, lt, rt)
+				return Type{}, false
+			}
+			return Type{Base: lang.TInt}, true
+		case lang.OpEq, lang.OpNe, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
+			if !lt.IsNumeric() || !rt.IsNumeric() {
+				c.errorf(e.Pos, "comparison requires numeric operands, got %s and %s", lt, rt)
+				return Type{}, false
+			}
+			return Type{Base: lang.TBool}, true
+		case lang.OpAnd, lang.OpOr:
+			if lt.Base != lang.TBool || rt.Base != lang.TBool {
+				c.errorf(e.Pos, "operator %s requires bool operands, got %s and %s", e.Op, lt, rt)
+				return Type{}, false
+			}
+			return Type{Base: lang.TBool}, true
+		}
+		c.errorf(e.Pos, "unsupported binary operator")
+		return Type{}, false
+	case *lang.CallExpr:
+		callee := c.checkCall(e.Pos, e.Name, e.DistArgs, e.Args)
+		if callee == nil {
+			return Type{}, false
+		}
+		if callee.RetType == nil {
+			c.errorf(e.Pos, "procedure %s returns no value and cannot be used in an expression", e.Name)
+			return Type{}, false
+		}
+		return *callee.RetType, true
+	case *lang.AllocExpr:
+		c.errorf(e.Pos, "allocations are only allowed as let initializers")
+		return Type{}, false
+	default:
+		c.errorf(e.Position(), "unsupported expression")
+		return Type{}, false
+	}
+}

@@ -1,0 +1,146 @@
+package spmd
+
+import (
+	"fmt"
+	"strings"
+
+	"procdecomp/internal/expr"
+)
+
+// Format renders a program in the paper's pseudo-code style, for inspection
+// and golden tests.
+func Format(p *Program) string {
+	var b strings.Builder
+	if p.Proc < 0 {
+		fmt.Fprintf(&b, "program %s  -- generic (run-time resolution), executed by all processes\n", p.Name)
+	} else {
+		fmt.Fprintf(&b, "program %s  -- specialized for process %d\n", p.Name, p.Proc)
+	}
+	for _, prm := range p.Params {
+		fmt.Fprintf(&b, "param %s: %v\n", prm.Name, prm.Dist)
+	}
+	FormatBody(&b, p.Body, 0)
+	for _, o := range p.Outputs {
+		if o.IsArray {
+			fmt.Fprintf(&b, "output %s  -- gathered via %v\n", o.Name, p.Arrays[o.Name].Dist)
+		} else {
+			fmt.Fprintf(&b, "output %s  -- scalar on %v\n", o.Name, o.ScalarDist)
+		}
+	}
+	return b.String()
+}
+
+// FormatBody renders a statement list at the given indentation depth.
+func FormatBody(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		formatStmt(b, s, depth)
+	}
+}
+
+func ind(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func exprList(idx []expr.Expr) string {
+	parts := make([]string, len(idx))
+	for i, e := range idx {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	ind(b, depth)
+	switch s := s.(type) {
+	case *Alloc:
+		parts := make([]string, len(s.Shape))
+		for i, e := range s.Shape {
+			parts[i] = e.String()
+		}
+		fmt.Fprintf(b, "%s := local_alloc(%s)\n", s.Array, strings.Join(parts, ", "))
+	case *AllocBuf:
+		fmt.Fprintf(b, "%s := vector[%s]\n", s.Buf, s.Size)
+	case *AssignVar:
+		fmt.Fprintf(b, "%s := %s\n", s.Name, FormatV(s.Val))
+	case *AssignIVar:
+		fmt.Fprintf(b, "%s = %s  -- I-var\n", s.Name, FormatV(s.Val))
+	case *ARead:
+		fmt.Fprintf(b, "%s := is_read(%s[%s])\n", s.Dst, s.Array, exprList(s.Idx))
+	case *AWrite:
+		fmt.Fprintf(b, "is_write(%s[%s], %s)\n", s.Array, exprList(s.Idx), FormatV(s.Val))
+	case *BufRead:
+		fmt.Fprintf(b, "%s := %s[%s]\n", s.Dst, s.Buf, s.Idx)
+	case *BufWrite:
+		fmt.Fprintf(b, "%s[%s] := %s\n", s.Buf, s.Idx, FormatV(s.Val))
+	case *Send:
+		fmt.Fprintf(b, "send(%s, to %s)  -- tag %d\n", FormatV(s.Val), s.Dst, s.Tag)
+	case *Recv:
+		fmt.Fprintf(b, "%s := receive(from %s)  -- tag %d\n", s.Dst, s.Src, s.Tag)
+	case *SendBuf:
+		fmt.Fprintf(b, "send(%s[%s..%s], to %s)  -- tag %d\n", s.Buf, s.Lo, s.Hi, s.Dst, s.Tag)
+	case *RecvBuf:
+		fmt.Fprintf(b, "%s[%s..%s] := receive(from %s)  -- tag %d\n", s.Buf, s.Lo, s.Hi, s.Src, s.Tag)
+	case *Coerce:
+		src := s.Var
+		if s.Array != "" {
+			src = fmt.Sprintf("%s[%s]", s.Array, exprList(s.Idx))
+		}
+		owner := "ALL"
+		if !s.OwnerAll {
+			owner = s.Owner.String()
+		}
+		needer := "ALL"
+		if !s.NeederAll {
+			needer = s.Needer.String()
+		}
+		fmt.Fprintf(b, "%s := coerce(%s, %s, %s)  -- tag %d\n", s.Dst, src, owner, needer, s.Tag)
+	case *For:
+		if v, ok := s.Step.ConstVal(); ok && v == 1 {
+			fmt.Fprintf(b, "for %s = %s to %s {\n", s.Var, s.Lo, s.Hi)
+		} else {
+			fmt.Fprintf(b, "for %s = %s to %s by %s {\n", s.Var, s.Lo, s.Hi, s.Step)
+		}
+		FormatBody(b, s.Body, depth+1)
+		ind(b, depth)
+		b.WriteString("}\n")
+	case *Guard:
+		fmt.Fprintf(b, "if %s = mynode() {\n", s.Proc)
+		FormatBody(b, s.Body, depth+1)
+		ind(b, depth)
+		b.WriteString("}\n")
+	case *IfValue:
+		fmt.Fprintf(b, "if %s {\n", FormatV(s.Cond))
+		FormatBody(b, s.Then, depth+1)
+		ind(b, depth)
+		b.WriteString("}")
+		if len(s.Else) > 0 {
+			b.WriteString(" else {\n")
+			FormatBody(b, s.Else, depth+1)
+			ind(b, depth)
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	default:
+		fmt.Fprintf(b, "<?stmt %T>\n", s)
+	}
+}
+
+// FormatV renders a value expression.
+func FormatV(v VExpr) string {
+	switch v := v.(type) {
+	case VConst:
+		return fmt.Sprintf("%g", v.F)
+	case VVar:
+		return v.Name
+	case VInt:
+		return v.X.String()
+	case VBin:
+		return fmt.Sprintf("(%s %s %s)", FormatV(v.L), v.Op, FormatV(v.R))
+	case VUn:
+		return fmt.Sprintf("(%s %s)", v.Op, FormatV(v.X))
+	default:
+		return fmt.Sprintf("<?vexpr %T>", v)
+	}
+}

@@ -1,0 +1,176 @@
+package spmd
+
+import (
+	"strings"
+	"testing"
+
+	"procdecomp/internal/dist"
+	"procdecomp/internal/expr"
+	"procdecomp/internal/lang"
+)
+
+// sample builds a small program exercising every statement kind.
+func sample() *Program {
+	j := expr.V("j")
+	me := MeExpr()
+	d := dist.NewCyclicCols(4, 8, 8)
+	return &Program{
+		Name:   "sample",
+		Proc:   -1,
+		Params: []ArrayInfo{{Name: "Old", Dist: d, GlobalShape: []int64{8, 8}}},
+		Arrays: map[string]ArrayInfo{
+			"Old": {Name: "Old", Dist: d, GlobalShape: []int64{8, 8}},
+			"New": {Name: "New", Dist: d, GlobalShape: []int64{8, 8}},
+		},
+		Body: []Stmt{
+			&Alloc{Array: "New", Shape: []expr.Expr{expr.C(8), expr.C(2)}},
+			&AllocBuf{Buf: "buf", Size: expr.C(6)},
+			&Guard{Proc: expr.Mod(j, expr.C(4)), Body: []Stmt{
+				&AssignIVar{Name: "x", Val: VConst{F: 5}},
+			}},
+			&Coerce{Dst: "t1", Var: "x", Owner: expr.C(0), Needer: expr.C(2), Tag: 7},
+			&For{Var: "j", Lo: expr.C(2), Hi: expr.C(7), Step: expr.C(1), Body: []Stmt{
+				&ARead{Dst: "t2", Array: "Old", Idx: []expr.Expr{expr.V("i"), expr.C(1)}},
+				&Send{Dst: expr.Mod(expr.Sub(j, expr.C(1)), expr.C(4)), Tag: 3, Val: VVar{Name: "t2"}},
+				&Recv{Src: me, Tag: 3, Dst: "t3"},
+				&BufWrite{Buf: "buf", Idx: expr.V("j"), Val: VBin{Op: lang.OpAdd, L: VVar{Name: "t2"}, R: VVar{Name: "t3"}}},
+				&BufRead{Dst: "t4", Buf: "buf", Idx: expr.V("j")},
+				&AWrite{Array: "New", Idx: []expr.Expr{expr.V("i"), expr.C(1)}, Val: VUn{Op: lang.OpNeg, X: VVar{Name: "t4"}}},
+			}},
+			&SendBuf{Dst: expr.C(1), Tag: 9, Buf: "buf", Lo: expr.C(1), Hi: expr.C(6)},
+			&RecvBuf{Src: expr.C(1), Tag: 9, Buf: "buf", Lo: expr.C(1), Hi: expr.C(6)},
+			&IfValue{Cond: VBin{Op: lang.OpLt, L: VInt{X: j}, R: VConst{F: 4}},
+				Then: []Stmt{&AssignVar{Name: "y", Val: VInt{X: j}}},
+				Else: []Stmt{&AssignVar{Name: "y", Val: VConst{F: 0}}}},
+		},
+		Outputs: []OutVar{{Name: "New", IsArray: true}},
+	}
+}
+
+func TestFormatCoversAllStatements(t *testing.T) {
+	out := Format(sample())
+	for _, want := range []string{
+		"generic (run-time resolution)",
+		"local_alloc(8, 2)",
+		"buf := vector[6]",
+		"mynode()",
+		"x = 5  -- I-var",
+		"coerce(x, 0, 2)",
+		"for j = 2 to 7 {",
+		"is_read(Old[i, 1])",
+		"send(t2, to ((j + 3) mod 4))",
+		"t3 := receive(from me)",
+		"buf[j] := (t2 + t3)",
+		"is_write(New[i, 1], (- t4))",
+		"send(buf[1..6], to 1)",
+		"buf[1..6] := receive(from 1)",
+		"if (j < 4) {",
+		"} else {",
+		"output New",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted program missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatSpecialized(t *testing.T) {
+	p := sample()
+	p.Proc = 2
+	if !strings.Contains(Format(p), "specialized for process 2") {
+		t.Error("specialized header missing")
+	}
+}
+
+func TestCloneBodyIndependence(t *testing.T) {
+	p := sample()
+	clone := CloneBody(p.Body)
+	// Mutate the clone deeply; the original must not change.
+	cloneFor := clone[4].(*For)
+	cloneFor.Body[0].(*ARead).Dst = "CHANGED"
+	cloneFor.Body = append(cloneFor.Body, &AssignVar{Name: "extra", Val: VConst{}})
+	clone[0].(*Alloc).Shape[0] = expr.C(999)
+
+	origFor := p.Body[4].(*For)
+	if origFor.Body[0].(*ARead).Dst != "t2" {
+		t.Error("clone shares ARead with original")
+	}
+	if len(origFor.Body) != 6 {
+		t.Error("clone shares loop body slice with original")
+	}
+	if v, _ := p.Body[0].(*Alloc).Shape[0].ConstVal(); v != 8 {
+		t.Error("clone shares alloc shape with original")
+	}
+}
+
+func TestSubstBodyMe(t *testing.T) {
+	p := sample()
+	body := CloneBody(p.Body)
+	SubstBody(body, Me, expr.C(2))
+	recv := body[4].(*For).Body[2].(*Recv)
+	if v, ok := recv.Src.ConstVal(); !ok || v != 2 {
+		t.Errorf("me not substituted in Recv.Src: %v", recv.Src)
+	}
+	// Formatting the substituted body must not mention "me" anywhere.
+	var b strings.Builder
+	FormatBody(&b, body, 0)
+	if strings.Contains(b.String(), "me") {
+		t.Errorf("substituted body still mentions me:\n%s", b.String())
+	}
+}
+
+func TestSubstBodyLoopVar(t *testing.T) {
+	body := []Stmt{
+		&For{Var: "k", Lo: expr.C(0), Hi: expr.V("r"), Step: expr.C(1), Body: []Stmt{
+			&AWrite{Array: "A", Idx: []expr.Expr{expr.V("r"), expr.V("k")}, Val: VInt{X: expr.V("r")}},
+		}},
+	}
+	SubstBody(body, "r", expr.C(5))
+	f := body[0].(*For)
+	if v, _ := f.Hi.ConstVal(); v != 5 {
+		t.Errorf("Hi not substituted: %v", f.Hi)
+	}
+	w := f.Body[0].(*AWrite)
+	if v, _ := w.Idx[0].ConstVal(); v != 5 {
+		t.Errorf("index not substituted: %v", w.Idx[0])
+	}
+	if FormatV(w.Val) != "5" {
+		t.Errorf("VInt not substituted: %s", FormatV(w.Val))
+	}
+	// The loop variable itself must be untouched.
+	if !w.Idx[1].Equal(expr.V("k")) {
+		t.Error("loop variable was substituted")
+	}
+}
+
+func TestSubstVExpr(t *testing.T) {
+	v := VBin{Op: lang.OpAdd, L: VInt{X: expr.V("r")}, R: VUn{Op: lang.OpNeg, X: VInt{X: expr.V("r")}}}
+	got := SubstVExpr(v, "r", expr.C(3))
+	if FormatV(got) != "(3 + (- 3))" {
+		t.Errorf("got %s", FormatV(got))
+	}
+}
+
+func TestVExprEqual(t *testing.T) {
+	a := VBin{Op: lang.OpAdd, L: VConst{F: 1}, R: VVar{Name: "x"}}
+	b := VBin{Op: lang.OpAdd, L: VConst{F: 1}, R: VVar{Name: "x"}}
+	c := VBin{Op: lang.OpAdd, L: VConst{F: 2}, R: VVar{Name: "x"}}
+	if !VExprEqual(a, b) || VExprEqual(a, c) {
+		t.Error("VExprEqual misreports")
+	}
+	if !VExprEqual(nil, nil) || VExprEqual(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestCloneProgram(t *testing.T) {
+	p := sample()
+	c := p.CloneProgram()
+	c.Body[0].(*Alloc).Array = "Other"
+	if p.Body[0].(*Alloc).Array != "New" {
+		t.Error("CloneProgram shares body")
+	}
+	if c.Name != p.Name || len(c.Outputs) != len(p.Outputs) {
+		t.Error("metadata not carried over")
+	}
+}

@@ -1,0 +1,69 @@
+package xform
+
+import (
+	"strings"
+
+	"procdecomp/internal/spmd"
+)
+
+// Interchange swaps a perfectly nested loop pair whose outer loop has the
+// given variable, in the (generic) program body. §4: "if the sequential
+// version of Gauss-Seidel had had the i and j-loops reversed then [the]
+// generated code would not have shown any parallelism, so loop interchange
+// would be required."
+//
+// The structural preconditions checked here are that the outer loop's body
+// is exactly the inner loop and that the inner loop's bounds do not mention
+// the outer variable. Dependence legality is the caller's responsibility
+// (the paper treats it as a planned compiler phase guided by the mapping);
+// the equivalence tests in this repository validate the uses the benchmarks
+// make of it. Returns true when a swap happened.
+func Interchange(prog *spmd.Program, outerVar string) bool {
+	return interchangeIn(&prog.Body, outerVar)
+}
+
+// matchesVar accepts the source variable name or the compiler's uniquified
+// form of it ("i" matches both "i" and "i#2").
+func matchesVar(irVar, srcVar string) bool {
+	return irVar == srcVar || strings.HasPrefix(irVar, srcVar+"#")
+}
+
+func interchangeIn(body *[]spmd.Stmt, outerVar string) bool {
+	done := false
+	for i := 0; i < len(*body); i++ {
+		switch st := (*body)[i].(type) {
+		case *spmd.For:
+			if matchesVar(st.Var, outerVar) && len(st.Body) == 1 {
+				if inner, ok := st.Body[0].(*spmd.For); ok &&
+					!inner.Lo.HasVar(st.Var) && !inner.Hi.HasVar(st.Var) && !inner.Step.HasVar(st.Var) &&
+					!st.Lo.HasVar(inner.Var) && !st.Hi.HasVar(inner.Var) && !st.Step.HasVar(inner.Var) {
+					swapped := &spmd.For{
+						Var: inner.Var, Lo: inner.Lo, Hi: inner.Hi, Step: inner.Step,
+						Body: []spmd.Stmt{&spmd.For{
+							Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step,
+							Body: inner.Body,
+						}},
+					}
+					(*body)[i] = swapped
+					done = true
+					continue
+				}
+			}
+			if interchangeIn(&st.Body, outerVar) {
+				done = true
+			}
+		case *spmd.IfValue:
+			if interchangeIn(&st.Then, outerVar) {
+				done = true
+			}
+			if interchangeIn(&st.Else, outerVar) {
+				done = true
+			}
+		case *spmd.Guard:
+			if interchangeIn(&st.Body, outerVar) {
+				done = true
+			}
+		}
+	}
+	return done
+}

@@ -1,0 +1,115 @@
+package xform
+
+import (
+	"fmt"
+
+	"procdecomp/internal/expr"
+	"procdecomp/internal/spmd"
+)
+
+// Vectorize applies Optimized I (Appendix A.2): for every channel whose
+// source array is read-only ("the Old values are not changed during the
+// execution of the loop"), the element-send loop becomes a pack-and-send of
+// one column message, and every matching element receive becomes one block
+// receive before its loop plus buffer reads inside it.
+//
+// Applicability per channel: every send site matches the element-send-loop
+// pattern over a read-only array; every receive site is a bare receive
+// directly inside a unit-stride loop whose bounds equal the send loop's; no
+// opaque sites. Channels failing any condition are left untouched. Returns
+// the number of channels transformed.
+func Vectorize(progs []*spmd.Program) int {
+	transformed := 0
+	for {
+		s := collect(progs)
+		tag, ok := s.nextVectorizable()
+		if !ok {
+			return transformed
+		}
+		s.vectorizeChannel(tag)
+		transformed++
+	}
+}
+
+// nextVectorizable finds the lowest-numbered channel the pass can transform.
+func (s *suite) nextVectorizable() (spmd.Tag, bool) {
+	for _, tag := range s.tags() {
+		if s.vectorizable(tag) {
+			return tag, true
+		}
+	}
+	return 0, false
+}
+
+func (s *suite) vectorizable(tag spmd.Tag) bool {
+	sends := s.sends[tag]
+	if len(sends) == 0 {
+		return false
+	}
+	var lo, hi expr.Expr
+	for i, st := range sends {
+		if s.written[st.send.array] {
+			return false // only read-only data may be hoisted into one message
+		}
+		if i == 0 {
+			lo, hi = st.send.loop.Lo, st.send.loop.Hi
+			continue
+		}
+		if !st.send.loop.Lo.Equal(lo) || !st.send.loop.Hi.Equal(hi) {
+			return false
+		}
+	}
+	for _, rt := range s.recvs[tag] {
+		f := rt.loop
+		if f == nil {
+			return false
+		}
+		if v, ok := f.Step.ConstVal(); !ok || v != 1 {
+			return false
+		}
+		if !f.Lo.Equal(lo) || !f.Hi.Equal(hi) {
+			return false
+		}
+		if rt.recv.Src.HasVar(f.Var) {
+			return false
+		}
+		// The receive must sit directly in the loop body (holder is the
+		// loop's body) so the block receive can precede the loop.
+		if rt.holder != &f.Body {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *suite) vectorizeChannel(tag spmd.Tag) {
+	for _, st := range s.sends[tag] {
+		sl := st.send
+		buf := fmt.Sprintf("oldvalues%d", tag)
+		count := expr.Add(expr.Sub(sl.loop.Hi, sl.loop.Lo), expr.C(1))
+		pos := expr.Add(expr.Sub(expr.V(sl.loop.Var), sl.loop.Lo), expr.C(1))
+		// The pair's send becomes a buffer write (the loop may pack other
+		// channels too, so it is rewritten in place), and the single column
+		// message goes out after the loop.
+		sl.loop.Body[sl.pairPos+1] = &spmd.BufWrite{Buf: buf, Idx: pos, Val: spmd.VVar{Name: sl.read.Dst}}
+		splice(st.holder, st.pos,
+			&spmd.AllocBuf{Buf: buf, Size: count},
+			sl.loop,
+			&spmd.SendBuf{Dst: sl.send.Dst, Tag: tag, Buf: buf, Lo: expr.C(1), Hi: count},
+		)
+	}
+	for _, rt := range s.recvs[tag] {
+		f := rt.loop
+		buf := fmt.Sprintf("rvalues%d", tag)
+		count := expr.Add(expr.Sub(f.Hi, f.Lo), expr.C(1))
+		pos := expr.Add(expr.Sub(expr.V(f.Var), f.Lo), expr.C(1))
+		// Replace the element receive with a buffer read.
+		(*rt.holder)[rt.pos] = &spmd.BufRead{Dst: rt.recv.Dst, Buf: buf, Idx: pos}
+		// Hoist one block receive before the loop.
+		splice(rt.loopHolder, rt.loopPos,
+			&spmd.AllocBuf{Buf: buf, Size: count},
+			&spmd.RecvBuf{Src: rt.recv.Src, Tag: tag, Buf: buf, Lo: expr.C(1), Hi: count},
+			f,
+		)
+	}
+}

@@ -1,0 +1,262 @@
+// Package xform implements the message-passing optimizations of the paper's
+// §4 and Appendix A as automated IR-to-IR passes over the specialized
+// programs produced by compile-time resolution:
+//
+//   - Vectorize (Optimized I, A.2): element sends of a read-only array are
+//     combined into one column message ("the Old values do not change during
+//     the computation"), and the matching element receives become one block
+//     receive plus local buffer reads.
+//
+//   - Jam (Optimized II, A.3): the loop that sends a produced array's
+//     elements is fused into the loop that computes them, so every new value
+//     is sent as soon as it is written — pipelining computation with
+//     communication and exposing the wavefront parallelism.
+//
+//   - StripMine (Optimized III, A.4): the pipelined per-element messages are
+//     blocked: values accumulate in a buffer and are sent every blksize
+//     elements, trading a little pipeline latency for far fewer messages.
+//
+//   - Interchange (§4): swaps a perfectly nested loop pair, used to align
+//     the iteration order with the decomposition.
+//
+// The paper applied these transformations by hand ("We plan to automate
+// these transformations in the next phase of our compiler development");
+// here they are automated for the program shapes compile-time resolution
+// emits. Every pass is conservative: a communication channel (identified by
+// its message tag, which is global across the process programs) is
+// transformed only when the applicability conditions hold at every send and
+// receive site in every program, and is left untouched otherwise. The passes
+// only move sends earlier relative to their receives, or re-chunk both sides
+// of a channel identically, so they preserve deadlock-freedom and
+// per-channel FIFO order.
+package xform
+
+import (
+	"sort"
+
+	"procdecomp/internal/expr"
+	"procdecomp/internal/spmd"
+)
+
+// sendLoop is one element-send pair inside a pure communication loop:
+//
+//	for v = lo to hi { ...; ct := is_read(A[v, e]); send(ct, to dst); ... }
+//
+// with dst and e invariant in v. The loop may pack several channels (when
+// ownership classes coincide, e.g. on a two-processor ring the left and
+// right neighbours are the same process); each read/send pair is a separate
+// site. A loop qualifies only when it performs no receives, no array writes,
+// and no nested control flow — it is purely a column-emission loop.
+type sendLoop struct {
+	loop    *spmd.For
+	array   string
+	read    *spmd.ARead
+	send    *spmd.Send
+	pairPos int // index of the ARead in loop.Body; the Send follows it
+	dim     int // which subscript varies with the loop (0 rows, 1 columns)
+}
+
+// varyingDim reports which subscript of a rank-2 index equals the loop
+// variable, with the other subscript loop-invariant.
+func varyingDim(idx []expr.Expr, v string) (int, bool) {
+	if len(idx) != 2 {
+		return 0, false
+	}
+	if idx[0].Equal(expr.V(v)) && !idx[1].HasVar(v) {
+		return 0, true
+	}
+	if idx[1].Equal(expr.V(v)) && !idx[0].HasVar(v) {
+		return 1, true
+	}
+	return 0, false
+}
+
+// matchSendPairs returns every element-send pair of a pure communication
+// loop, or ok=false when the loop does not qualify (its bare sends must then
+// be treated as opaque).
+func matchSendPairs(f *spmd.For) ([]*sendLoop, bool) {
+	if v, ok := f.Step.ConstVal(); !ok || v != 1 {
+		return nil, false
+	}
+	var pairs []*sendLoop
+	for i := 0; i < len(f.Body); i++ {
+		switch st := f.Body[i].(type) {
+		case *spmd.ARead:
+			// Part of a pair, or a stray read (neutral).
+		case *spmd.Send:
+			if i == 0 {
+				return nil, false
+			}
+			rd, ok := f.Body[i-1].(*spmd.ARead)
+			if !ok {
+				return nil, false
+			}
+			vv, ok := st.Val.(spmd.VVar)
+			if !ok || vv.Name != rd.Dst {
+				return nil, false
+			}
+			dim, ok := varyingDim(rd.Idx, f.Var)
+			if !ok || st.Dst.HasVar(f.Var) {
+				return nil, false
+			}
+			pairs = append(pairs, &sendLoop{loop: f, array: rd.Array, read: rd, send: st, pairPos: i - 1, dim: dim})
+		case *spmd.BufWrite, *spmd.AssignVar:
+			// Neutral packing statements.
+		default:
+			return nil, false // receives, writes, nested control: not a send loop
+		}
+	}
+	return pairs, len(pairs) > 0
+}
+
+// site is one occurrence of a channel operation with the context needed to
+// rewrite it in place.
+type site struct {
+	prog *spmd.Program
+	// holder/pos locate the top statement of the site (the send loop, or
+	// the Recv itself) in its containing list.
+	holder *[]spmd.Stmt
+	pos    int
+	// cond is the condition of the enclosing IfValue piece (nil if none).
+	cond spmd.VExpr
+	// roundVar is the variable of the enclosing round loop ("" if none).
+	roundVar string
+	// loop is the innermost enclosing For for receive sites, with its own
+	// location for inserting statements before it.
+	loop       *spmd.For
+	loopHolder *[]spmd.Stmt
+	loopPos    int
+
+	recv *spmd.Recv
+	send *sendLoop
+}
+
+// suite is the channel census of a program suite.
+type suite struct {
+	progs   []*spmd.Program
+	sends   map[spmd.Tag][]*site
+	recvs   map[spmd.Tag][]*site
+	opaque  map[spmd.Tag]bool // tags with sites the passes cannot rewrite
+	written map[string]bool   // arrays written anywhere in any program
+}
+
+// collect builds a fresh census. Passes re-collect after rewriting each
+// channel, so site positions are never stale.
+func collect(progs []*spmd.Program) *suite {
+	s := &suite{
+		progs:   progs,
+		sends:   map[spmd.Tag][]*site{},
+		recvs:   map[spmd.Tag][]*site{},
+		opaque:  map[spmd.Tag]bool{},
+		written: map[string]bool{},
+	}
+	for _, p := range progs {
+		s.walk(p, &p.Body, walkCtx{})
+	}
+	return s
+}
+
+type walkCtx struct {
+	cond       spmd.VExpr
+	roundVar   string
+	loop       *spmd.For
+	loopHolder *[]spmd.Stmt
+	loopPos    int
+}
+
+func (s *suite) walk(p *spmd.Program, body *[]spmd.Stmt, ctx walkCtx) {
+	for i := 0; i < len(*body); i++ {
+		switch st := (*body)[i].(type) {
+		case *spmd.AWrite:
+			s.written[st.Array] = true
+		case *spmd.AssignIVar:
+			// scalar writes don't affect array channels
+		case *spmd.Coerce:
+			s.opaque[st.Tag] = true
+		case *spmd.Send:
+			// A bare send outside the send-loop pattern (e.g. scalar
+			// channels): passes must not touch its tag.
+			s.opaque[st.Tag] = true
+		case *spmd.SendBuf:
+			s.opaque[st.Tag] = true
+		case *spmd.RecvBuf:
+			s.opaque[st.Tag] = true
+		case *spmd.Recv:
+			s.recvs[st.Tag] = append(s.recvs[st.Tag], &site{
+				prog: p, holder: body, pos: i, cond: ctx.cond,
+				roundVar: ctx.roundVar, loop: ctx.loop,
+				loopHolder: ctx.loopHolder, loopPos: ctx.loopPos, recv: st,
+			})
+		case *spmd.For:
+			if pairs, ok := matchSendPairs(st); ok {
+				for _, sl := range pairs {
+					s.sends[sl.send.Tag] = append(s.sends[sl.send.Tag], &site{
+						prog: p, holder: body, pos: i, cond: ctx.cond,
+						roundVar: ctx.roundVar, send: sl,
+					})
+				}
+				continue
+			}
+			inner := ctx
+			if isRoundLoop(st) {
+				inner.roundVar = st.Var
+			}
+			inner.loop = st
+			inner.loopHolder = body
+			inner.loopPos = i
+			s.walk(p, &st.Body, inner)
+		case *spmd.IfValue:
+			thenCtx := ctx
+			thenCtx.cond = st.Cond
+			s.walk(p, &st.Then, thenCtx)
+			s.walk(p, &st.Else, ctx)
+		case *spmd.Guard:
+			s.walk(p, &st.Body, ctx)
+		}
+	}
+}
+
+// isRoundLoop recognizes the round structure compile-time resolution emits
+// when several ownership classes share one loop: every body item is a
+// range-guarded piece.
+func isRoundLoop(f *spmd.For) bool {
+	if len(f.Body) == 0 {
+		return false
+	}
+	for _, st := range f.Body {
+		if _, ok := st.(*spmd.IfValue); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// tags returns the channel tags present in the census, sorted, restricted to
+// those with at least one send-loop site and no opaque site.
+func (s *suite) tags() []spmd.Tag {
+	var out []spmd.Tag
+	for t := range s.sends {
+		if !s.opaque[t] {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// splice replaces (*holder)[pos] with the given statements.
+func splice(holder *[]spmd.Stmt, pos int, repl ...spmd.Stmt) {
+	out := make([]spmd.Stmt, 0, len(*holder)-1+len(repl))
+	out = append(out, (*holder)[:pos]...)
+	out = append(out, repl...)
+	out = append(out, (*holder)[pos+1:]...)
+	*holder = out
+}
+
+// trueCond substitutes "always true" for a nil piece condition.
+func condOrTrue(c spmd.VExpr) spmd.VExpr {
+	if c == nil {
+		return spmd.VConst{F: 1}
+	}
+	return c
+}

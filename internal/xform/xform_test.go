@@ -1,0 +1,463 @@
+package xform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"procdecomp/internal/core"
+	"procdecomp/internal/exec"
+	"procdecomp/internal/expr"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/sem"
+	"procdecomp/internal/spmd"
+)
+
+const gsSource = `
+const N = 16;
+const c = 0.25;
+
+dist Column = cyclic_cols(NPROCS);
+
+proc init_boundary(New: matrix[N, N] on Column) {
+  for j = 1 to N {
+    New[1, j] = 1.0;
+    New[N, j] = 1.0;
+  }
+  for i = 2 to N - 1 {
+    New[i, 1] = 1.0;
+    New[i, N] = 1.0;
+  }
+}
+
+proc gs_iteration(Old: matrix[N, N] on Column): matrix[N, N] on Column {
+  let New = matrix(N, N) on Column;
+  call init_boundary(New);
+  for j = 2 to N - 1 {
+    for i = 2 to N - 1 {
+      New[i, j] = c * (New[i - 1, j] + New[i, j - 1] + Old[i + 1, j] + Old[i, j + 1]);
+    }
+  }
+  return New;
+}
+`
+
+func checked(t *testing.T, procs int64, n int64) *sem.Info {
+	t.Helper()
+	prog, err := lang.Parse(gsSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: procs, Defines: map[string]int64{"N": n}})
+	if len(errs) > 0 {
+		t.Fatalf("check: %v", errs)
+	}
+	return info
+}
+
+func gsInput(t *testing.T, n int64) *istruct.Matrix {
+	t.Helper()
+	m, err := istruct.NewMatrix("Old", n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			m.Write(i, j, float64((i*13+j*7)%19)+0.25)
+		}
+	}
+	return m
+}
+
+func compileCTR(t *testing.T, info *sem.Info) []*spmd.Program {
+	t.Helper()
+	progs, err := core.New(info).CompileCTR("gs_iteration", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+func run(t *testing.T, progs []*spmd.Program, procs int, n int64) *exec.SPMDOutcome {
+	t.Helper()
+	res, err := exec.RunSPMD(progs, machine.DefaultConfig(procs), map[string]*istruct.Matrix{"Old": gsInput(t, n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func reference(t *testing.T, info *sem.Info, n int64) *istruct.Matrix {
+	t.Helper()
+	out, err := exec.RunSequential(info, "gs_iteration", []exec.ArgVal{{Matrix: gsInput(t, n)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Ret.Matrix
+}
+
+func assertEqual(t *testing.T, want, got *istruct.Matrix, label string) {
+	t.Helper()
+	for i := int64(1); i <= want.Rows(); i++ {
+		for j := int64(1); j <= want.Cols(); j++ {
+			dw, dg := want.Defined(i, j), got.Defined(i, j)
+			if dw != dg {
+				t.Fatalf("%s: definedness mismatch at (%d,%d)", label, i, j)
+			}
+			if !dw {
+				continue
+			}
+			vw, _ := want.Read(i, j)
+			vg, _ := got.Read(i, j)
+			if math.Abs(vw-vg) > 1e-9 {
+				t.Fatalf("%s: (%d,%d) = %g, want %g", label, i, j, vg, vw)
+			}
+		}
+	}
+}
+
+// Message-count formulas for the N×N wavefront, interior (N-2)².
+func optIMsgs(n int64) int64 { return (n-2)*(n-2) + (n - 2) }
+func optIIIMsgs(n, b int64) int64 {
+	blocksPerCol := (n - 2 + b - 1) / b
+	return (n-2)*blocksPerCol + (n - 2)
+}
+
+func TestVectorizePreservesSemantics(t *testing.T) {
+	for _, procs := range []int64{2, 3, 4, 8} {
+		const n = 16
+		info := checked(t, procs, n)
+		want := reference(t, info, n)
+		progs := compileCTR(t, info)
+		changed := Vectorize(progs)
+		if changed == 0 {
+			t.Fatalf("S=%d: vectorize transformed nothing", procs)
+		}
+		res := run(t, progs, int(procs), n)
+		assertEqual(t, want, res.Arrays["New"], "vectorized")
+		if res.Stats.Messages != optIMsgs(n) {
+			t.Errorf("S=%d: messages = %d, want %d", procs, res.Stats.Messages, optIMsgs(n))
+		}
+	}
+}
+
+func TestVectorizeOnlyReadOnlyChannels(t *testing.T) {
+	info := checked(t, 4, 16)
+	progs := compileCTR(t, info)
+	if changed := Vectorize(progs); changed != 1 {
+		t.Errorf("vectorize transformed %d channels, want 1 (only the Old column)", changed)
+	}
+}
+
+func TestJamPreservesSemantics(t *testing.T) {
+	for _, procs := range []int64{2, 3, 4, 8} {
+		const n = 16
+		info := checked(t, procs, n)
+		want := reference(t, info, n)
+		progs := compileCTR(t, info)
+		Vectorize(progs)
+		if changed := Jam(progs); changed == 0 {
+			t.Fatalf("S=%d: jam transformed nothing", procs)
+		}
+		res := run(t, progs, int(procs), n)
+		assertEqual(t, want, res.Arrays["New"], "jammed")
+		// Jam relocates sends; it does not change the message count.
+		if res.Stats.Messages != optIMsgs(n) {
+			t.Errorf("S=%d: messages = %d, want %d", procs, res.Stats.Messages, optIMsgs(n))
+		}
+	}
+}
+
+func TestJamExposesParallelism(t *testing.T) {
+	// Optimized II's defining property (Fig. 7): with pipelining, makespan
+	// drops as processors are added; before it, the curve is flat.
+	const n = 32
+	makespan := func(procs int64, jam bool) machine.Cost {
+		info := checked(t, procs, n)
+		progs := compileCTR(t, info)
+		Vectorize(progs)
+		if jam {
+			Jam(progs)
+		}
+		return run(t, progs, int(procs), n).Stats.Makespan
+	}
+	preJam2, preJam8 := makespan(2, false), makespan(8, false)
+	postJam2, postJam8 := makespan(2, true), makespan(8, true)
+	// Jamming must scale markedly better than the column-serialized version
+	// and deliver a real absolute speedup from 2 to 8 processors.
+	flatRatio := float64(preJam2) / float64(preJam8)
+	speedup := float64(postJam2) / float64(postJam8)
+	if speedup < 2 {
+		t.Errorf("jammed speedup 2->8 procs = %.2f, expected > 2", speedup)
+	}
+	if speedup < flatRatio*1.2 {
+		t.Errorf("jamming did not improve scaling: %.2f vs %.2f unjammed", speedup, flatRatio)
+	}
+}
+
+func TestStripMinePreservesSemantics(t *testing.T) {
+	for _, procs := range []int64{2, 3, 4, 8} {
+		for _, blk := range []int64{1, 2, 4, 7, 14, 20} {
+			const n = 16
+			info := checked(t, procs, n)
+			want := reference(t, info, n)
+			progs := compileCTR(t, info)
+			Vectorize(progs)
+			Jam(progs)
+			if changed := StripMine(progs, blk); changed == 0 {
+				t.Fatalf("S=%d blk=%d: strip mine transformed nothing", procs, blk)
+			}
+			res := run(t, progs, int(procs), n)
+			assertEqual(t, want, res.Arrays["New"], "strip-mined")
+			if res.Stats.Messages != optIIIMsgs(n, blk) {
+				t.Errorf("S=%d blk=%d: messages = %d, want %d",
+					procs, blk, res.Stats.Messages, optIIIMsgs(n, blk))
+			}
+		}
+	}
+}
+
+func TestStripMineReducesMessagesAndBeatsJamAtScale(t *testing.T) {
+	const n = 32
+	const procs = 8
+	info := checked(t, procs, n)
+	base := compileCTR(t, info)
+	Vectorize(base)
+	Jam(base)
+	jammed := run(t, base, procs, n)
+
+	info2 := checked(t, procs, n)
+	mined := compileCTR(t, info2)
+	Vectorize(mined)
+	Jam(mined)
+	StripMine(mined, 5)
+	blocked := run(t, mined, procs, n)
+
+	if blocked.Stats.Messages >= jammed.Stats.Messages {
+		t.Errorf("blocking did not reduce messages: %d vs %d",
+			blocked.Stats.Messages, jammed.Stats.Messages)
+	}
+	if blocked.Stats.Makespan >= jammed.Stats.Makespan {
+		t.Errorf("blocking did not improve makespan: %d vs %d",
+			blocked.Stats.Makespan, jammed.Stats.Makespan)
+	}
+}
+
+func TestFullPipelineOrdering(t *testing.T) {
+	// Fig. 6/7 ordering at one configuration: RTR > CTR > OptI > OptII > OptIII.
+	const n = 32
+	const procs = 8
+	info := checked(t, procs, n)
+	comp := core.New(info)
+
+	rtr, err := comp.CompileRTR("gs_iteration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRTR := run(t, []*spmd.Program{rtr}, procs, n).Stats.Makespan
+
+	ctr := compileCTR(t, info)
+	mkCTR := run(t, ctr, procs, n).Stats.Makespan
+
+	v := compileCTR(t, info)
+	Vectorize(v)
+	mkI := run(t, v, procs, n).Stats.Makespan
+
+	j := compileCTR(t, info)
+	Vectorize(j)
+	Jam(j)
+	mkII := run(t, j, procs, n).Stats.Makespan
+
+	sm := compileCTR(t, info)
+	Vectorize(sm)
+	Jam(sm)
+	StripMine(sm, 5)
+	mkIII := run(t, sm, procs, n).Stats.Makespan
+
+	if !(mkRTR > mkCTR && mkCTR > mkI && mkI > mkII && mkII > mkIII) {
+		t.Errorf("expected RTR > CTR > OptI > OptII > OptIII, got %d > %d > %d > %d > %d",
+			mkRTR, mkCTR, mkI, mkII, mkIII)
+	}
+}
+
+func TestInterchange(t *testing.T) {
+	// Reversed-loop Gauss-Seidel: i outer, j inner.
+	src := `
+const N = 12;
+const c = 0.25;
+dist Column = cyclic_cols(NPROCS);
+proc init_boundary(New: matrix[N, N] on Column) {
+  for j = 1 to N {
+    New[1, j] = 1.0;
+    New[N, j] = 1.0;
+  }
+  for i = 2 to N - 1 {
+    New[i, 1] = 1.0;
+    New[i, N] = 1.0;
+  }
+}
+proc gs_rev(Old: matrix[N, N] on Column): matrix[N, N] on Column {
+  let New = matrix(N, N) on Column;
+  call init_boundary(New);
+  for i = 2 to N - 1 {
+    for j = 2 to N - 1 {
+      New[i, j] = c * (New[i - 1, j] + New[i, j - 1] + Old[i + 1, j] + Old[i, j + 1]);
+    }
+  }
+  return New;
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: 4})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	want, err := exec.RunSequential(info, "gs_rev", []exec.ArgVal{{Matrix: gsInput(t, 12)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := core.New(info).CompileRTR("gs_rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Interchange(generic, "i") {
+		t.Fatal("interchange did not fire")
+	}
+	progs := core.SpecializeAll(generic, 4, true)
+	res, err := exec.RunSPMD(progs, machine.DefaultConfig(4), map[string]*istruct.Matrix{"Old": gsInput(t, 12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, want.Ret.Matrix, res.Arrays["New"], "interchanged")
+}
+
+func TestInterchangeRefusesDependentBounds(t *testing.T) {
+	// A triangular nest must not be swapped.
+	prog := &spmd.Program{Body: []spmd.Stmt{
+		&spmd.For{Var: "a", Lo: c0(), Hi: c0(), Step: c1(), Body: []spmd.Stmt{
+			&spmd.For{Var: "b", Lo: c0(), Hi: vOf("a"), Step: c1()},
+		}},
+	}}
+	if Interchange(prog, "a") {
+		t.Error("interchange fired on a triangular nest")
+	}
+}
+
+func c0() expr.Expr          { return expr.C(0) }
+func c1() expr.Expr          { return expr.C(1) }
+func vOf(n string) expr.Expr { return expr.V(n) }
+
+// Running each pass a second time must be a no-op: transformed channels are
+// no longer in the matchable fragment.
+func TestPassesIdempotent(t *testing.T) {
+	info := checked(t, 4, 16)
+	progs := compileCTR(t, info)
+	if Vectorize(progs) == 0 {
+		t.Fatal("first vectorize did nothing")
+	}
+	if n := Vectorize(progs); n != 0 {
+		t.Errorf("second vectorize transformed %d channels", n)
+	}
+	if Jam(progs) == 0 {
+		t.Fatal("first jam did nothing")
+	}
+	if n := Jam(progs); n != 0 {
+		t.Errorf("second jam transformed %d channels", n)
+	}
+	if StripMine(progs, 4) == 0 {
+		t.Fatal("first strip mine did nothing")
+	}
+	if n := StripMine(progs, 4); n != 0 {
+		t.Errorf("second strip mine transformed %d channels", n)
+	}
+	// The result must still be correct.
+	want := reference(t, info, 16)
+	res := run(t, progs, 4, 16)
+	assertEqual(t, want, res.Arrays["New"], "idempotence")
+}
+
+// StripMine with a nonsensical block size must refuse rather than corrupt.
+func TestStripMineRejectsBadBlock(t *testing.T) {
+	info := checked(t, 4, 16)
+	progs := compileCTR(t, info)
+	Vectorize(progs)
+	Jam(progs)
+	if n := StripMine(progs, 0); n != 0 {
+		t.Errorf("blk=0 transformed %d channels", n)
+	}
+	if n := StripMine(progs, -3); n != 0 {
+		t.Errorf("blk=-3 transformed %d channels", n)
+	}
+}
+
+// The passes must leave a no-communication (single-processor) program alone.
+func TestPassesOnSingleProcessor(t *testing.T) {
+	info := checked(t, 1, 16)
+	progs := compileCTR(t, info)
+	if n := Vectorize(progs); n != 0 {
+		t.Errorf("vectorize on S=1 transformed %d channels", n)
+	}
+	if n := Jam(progs); n != 0 {
+		t.Errorf("jam on S=1 transformed %d channels", n)
+	}
+	if n := StripMine(progs, 4); n != 0 {
+		t.Errorf("strip mine on S=1 transformed %d channels", n)
+	}
+}
+
+// Appendix A staircase shapes, pinned structurally: each optimization level
+// introduces exactly the constructs the paper's corresponding listing shows.
+func TestAppendixAShapes(t *testing.T) {
+	info := checked(t, 4, 8)
+
+	// A.2 (vectorized): the old column leaves as one buffered message.
+	v := compileCTR(t, info)
+	Vectorize(v)
+	p1 := spmd.Format(v[1])
+	for _, want := range []string{
+		"oldvalues4 := vector[6]",        // calloc'd oldvalues vector
+		"send(oldvalues4[1..6], to 0)",   // single column message left
+		"rvalues4[1..6] := receive(from", // single column receive
+	} {
+		if !strings.Contains(p1, want) {
+			t.Errorf("A.2 shape missing %q:\n%s", want, p1)
+		}
+	}
+	// New values still go one at a time after the compute loop.
+	if !strings.Contains(p1, "send(ct1, to 2)") {
+		t.Errorf("A.2 should keep element sends of new values:\n%s", p1)
+	}
+
+	// A.3 (jammed): the new value is sent as soon as it is written.
+	j := compileCTR(t, info)
+	Vectorize(j)
+	Jam(j)
+	p1 = spmd.Format(j[1])
+	iw := strings.Index(p1, "is_write(New[i#2,")
+	snd := strings.Index(p1[iw:], "send(jam2, to 2)")
+	if iw < 0 || snd < 0 || snd > 300 {
+		t.Errorf("A.3 fused send not adjacent to the write (offset %d):\n%s", snd, p1)
+	}
+
+	// A.4 (strip-mined): snewvalues/rnewvalues blocks around the inner loop.
+	sm := compileCTR(t, info)
+	Vectorize(sm)
+	Jam(sm)
+	StripMine(sm, 2)
+	p1 = spmd.Format(sm[1])
+	for _, want := range []string{
+		"rnewvalues2 := vector[2]",
+		"snewvalues2 := vector[2]",
+		".blk = 0 to 2",                     // the block loop
+		"rnewvalues2[1..", "snewvalues2[1.", // block receives and sends
+	} {
+		if !strings.Contains(p1, want) {
+			t.Errorf("A.4 shape missing %q:\n%s", want, p1)
+		}
+	}
+}
