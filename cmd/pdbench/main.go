@@ -25,10 +25,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | all")
-		n       = flag.Int64("n", 128, "grid size N (the paper uses 128)")
-		blk     = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
-		procsCS = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
+		fig      = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | all")
+		n        = flag.Int64("n", 128, "grid size N (the paper uses 128)")
+		blk      = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
+		procsCS  = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -88,6 +89,33 @@ func main() {
 		// The conservative co-scheduler is slower to simulate; half the grid
 		// keeps the full sweep quick.
 		run("multiplexing", func() (*bench.Series, error) { return bench.MultiplexTable(4, *n/2, *blk) })
+	}
+
+	if *traceOut != "" {
+		p := 8
+		for _, q := range procs {
+			if q > 1 {
+				p = q
+				break
+			}
+		}
+		st, tr, err := bench.TraceGS(bench.OptimizedIII, p, *n, *blk, nil)
+		if err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: Optimized III, S=%d, N=%d, blksize %d: %d events, makespan %d -> %s\n",
+			p, *n, *blk, tr.Len(), st.Makespan, *traceOut)
 	}
 }
 

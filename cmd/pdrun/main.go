@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"procdecomp/internal/machine"
 	"procdecomp/internal/sem"
 	"procdecomp/internal/spmd"
+	"procdecomp/internal/trace"
 	"procdecomp/internal/xform"
 )
 
@@ -32,9 +34,10 @@ func main() {
 		entry   = flag.String("entry", "", "entry procedure")
 		procs   = flag.Int("procs", 4, "number of processors")
 		mode    = flag.String("mode", "opt3", "rtr | ctr | opt1 | opt2 | opt3")
-		blk     = flag.Int64("blk", 8, "block size for opt3")
-		check   = flag.Bool("check", true, "compare against the sequential interpreter")
-		defines defineFlag
+		blk      = flag.Int64("blk", 8, "block size for opt3")
+		check    = flag.Bool("check", true, "compare against the sequential interpreter")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+		defines  defineFlag
 	)
 	flag.Var(&defines, "D", "override a constant, e.g. -D N=64 (repeatable)")
 	flag.Parse()
@@ -115,7 +118,13 @@ func main() {
 		}
 	}
 
-	out, err := exec.RunSPMD(progs, machine.DefaultConfig(*procs), inputs)
+	cfg := machine.DefaultConfig(*procs)
+	var tr *trace.Log
+	if *traceOut != "" {
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
+	out, err := exec.RunSPMD(progs, cfg, inputs)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +132,21 @@ func main() {
 	fmt.Printf("executed %s on %d simulated processors (%s)\n", name, *procs, *mode)
 	fmt.Printf("  makespan: %d cycles\n", out.Stats.Makespan)
 	fmt.Printf("  messages: %d (%d values, %d bytes)\n", out.Stats.Messages, out.Stats.Values, out.Stats.Bytes)
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fatal(err)
+		}
+		links := 0
+		for _, row := range tr.MessageMatrix() {
+			for _, c := range row {
+				if c > 0 {
+					links++
+				}
+			}
+		}
+		fmt.Printf("  trace: %d events, %d messages over %d links -> %s (open in Perfetto)\n",
+			tr.Len(), tr.Messages(), links, *traceOut)
+	}
 	for name, m := range out.Arrays {
 		defined := 0
 		for i := int64(1); i <= m.Rows(); i++ {
@@ -145,17 +169,34 @@ func main() {
 		}
 		if seq.HasRet && seq.Ret.Matrix != nil {
 			want := seq.Ret.Matrix
-			var got *istruct.Matrix
+			// Identify the returned array by name: prefer the output whose
+			// name matches the matrix the sequential interpreter returned,
+			// falling back to the last array output (the return value is
+			// emitted last). Matching by shape alone could silently compare
+			// against a different, same-shaped output array.
+			retName, lastArray := "", ""
 			for _, o := range progs[0].Outputs {
-				if o.IsArray {
-					cand := out.Arrays[o.Name]
-					if cand.Rows() == want.Rows() && cand.Cols() == want.Cols() {
-						got = cand // the returned array is the last output
-					}
+				if !o.IsArray {
+					continue
+				}
+				lastArray = o.Name
+				if o.Name == want.Name() {
+					retName = o.Name
 				}
 			}
+			if retName == "" {
+				retName = lastArray
+			}
+			if retName == "" {
+				fatal(fmt.Errorf("the entry returns an array but the compiled program has no array output"))
+			}
+			got := out.Arrays[retName]
 			if got == nil {
-				fatal(fmt.Errorf("no output array matches the sequential result"))
+				fatal(fmt.Errorf("output array %s missing from the distributed result", retName))
+			}
+			if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+				fatal(fmt.Errorf("output array %s is %dx%d, sequential result is %dx%d",
+					retName, got.Rows(), got.Cols(), want.Rows(), want.Cols()))
 			}
 			for i := int64(1); i <= want.Rows(); i++ {
 				for j := int64(1); j <= want.Cols(); j++ {
@@ -179,22 +220,44 @@ func main() {
 
 func readSource(file string) (string, error) {
 	if file == "" {
-		var b strings.Builder
-		buf := make([]byte, 64*1024)
-		for {
-			n, err := os.Stdin.Read(buf)
-			b.Write(buf[:n])
-			if err != nil {
-				break
-			}
-		}
-		return b.String(), nil
+		return readAll(os.Stdin)
 	}
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return "", err
 	}
 	return string(data), nil
+}
+
+// readAll drains r, keeping any bytes read before a mid-stream failure is
+// reported. Unlike a bare read loop, a non-EOF error is returned, not
+// swallowed.
+func readAll(r io.Reader) (string, error) {
+	var b strings.Builder
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err == io.EOF {
+			return b.String(), nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("reading source: %w", err)
+		}
+	}
+}
+
+// writeTrace writes the run's event log in Chrome trace-event JSON.
+func writeTrace(path string, tr *trace.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

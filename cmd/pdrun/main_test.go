@@ -1,0 +1,54 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// errReader yields some bytes and then fails with a non-EOF error, like a
+// pipe whose writer died.
+type errReader struct {
+	data string
+	err  error
+	done bool
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, r.err
+	}
+	r.done = true
+	return copy(p, r.data), nil
+}
+
+func TestReadAllReturnsReadError(t *testing.T) {
+	broken := errors.New("pipe burst")
+	_, err := readAll(&errReader{data: "proc f", err: broken})
+	if !errors.Is(err, broken) {
+		t.Fatalf("err = %v, want wrapped %v (a non-EOF stdin failure must not be swallowed)", err, broken)
+	}
+}
+
+func TestReadAllHappyPath(t *testing.T) {
+	// Longer than one Read call's worth for a small reader.
+	src := strings.Repeat("const N = 8;\n", 100)
+	got, err := readAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != src {
+		t.Fatalf("got %d bytes, want %d", len(got), len(src))
+	}
+}
+
+func TestReadAllKeepsBytesBeforeEOF(t *testing.T) {
+	got, err := readAll(io.LimitReader(strings.NewReader("abc"), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ab" {
+		t.Fatalf("got %q, want %q", got, "ab")
+	}
+}

@@ -206,11 +206,11 @@ func TestUtilizationTable(t *testing.T) {
 		t.Fatalf("rows = %d", len(s.Rows))
 	}
 	// Optimized III must idle less than run-time resolution.
-	a, err := runGSStats(RunTime, 4, 24, 4)
+	a, _, err := TraceGS(RunTime, 4, 24, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runGSStats(OptimizedIII, 4, 24, 4)
+	b, _, err := TraceGS(OptimizedIII, 4, 24, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

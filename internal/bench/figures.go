@@ -10,6 +10,7 @@ import (
 	"procdecomp/internal/lang"
 	"procdecomp/internal/machine"
 	"procdecomp/internal/sem"
+	"procdecomp/internal/trace"
 	"procdecomp/internal/wavefront"
 	"procdecomp/internal/xform"
 )
@@ -246,52 +247,68 @@ func SharedMemoryAblation(n int64, procs int, blk int64) (*Series, error) {
 // UtilizationTable explains Figs. 6/7 causally: the flat curves are
 // processors sitting idle waiting for serialized messages. For each variant
 // it reports the mean processor utilization (fraction of virtual time spent
-// computing) and the aggregate time partition.
+// computing), the aggregate time partition, and the communication pattern —
+// all computed from the run's event trace, whose per-process sums the
+// machine verifies against its own Breakdown before any number is reported.
 func UtilizationTable(n int64, procs int, blk int64) (*Series, error) {
 	s := &Series{
 		Title:   fmt.Sprintf("Processor utilization (%dx%d grid, S=%d, blksize %d)", n, n, procs, blk),
-		Columns: []string{"variant", "utilization", "compute", "comm overhead", "idle"},
+		Columns: []string{"variant", "utilization", "compute", "comm overhead", "idle", "messages", "busiest link"},
 	}
 	for _, v := range AllVariants {
-		pt, err := runGSStats(v, procs, n, blk)
+		pt, tr, err := TraceGS(v, procs, n, blk, nil)
 		if err != nil {
 			return nil, err
 		}
-		var comp, comm, idle machine.Cost
-		for _, b := range pt.Breakdown {
-			comp += b.Compute
-			comm += b.Comm
-			idle += b.Idle
+		tot := tr.Totals()
+		if msgs := tr.Messages(); msgs != pt.Messages {
+			return nil, fmt.Errorf("bench: trace counted %d messages, machine counted %d", msgs, pt.Messages)
+		}
+		link := "-"
+		if src, dst, c, ok := tr.BusiestLink(); ok {
+			link = fmt.Sprintf("%d->%d (%d)", src, dst, c)
 		}
 		s.Rows = append(s.Rows, []string{v.String(),
 			fmt.Sprintf("%4.1f%%", 100*pt.MeanUtilization()),
-			fmt.Sprintf("%d", comp), fmt.Sprintf("%d", comm), fmt.Sprintf("%d", idle)})
+			fmt.Sprintf("%d", tot.Compute), fmt.Sprintf("%d", tot.Comm),
+			fmt.Sprintf("%d", tot.Idle+tot.Blocked),
+			fmt.Sprintf("%d", pt.Messages), link})
 	}
 	s.Notes = append(s.Notes,
 		"Idle time is cycles spent blocked in receives before the message arrived:",
-		"the unoptimized variants serialize on it; pipelining and blocking reclaim it.")
+		"the unoptimized variants serialize on it; pipelining and blocking reclaim it.",
+		"Partitions are summed from the event trace and reconciled exactly with the",
+		"machine's Breakdown; 'busiest link' is the (src->dst) pair from the message matrix.")
 	return s, nil
 }
 
-// runGSStats runs a variant and returns the full machine statistics.
-func runGSStats(v Variant, procs int, n, blk int64) (*machine.Stats, error) {
+// TraceGS runs one Gauss-Seidel variant with event tracing enabled and
+// returns the machine statistics plus the event log. placement, when
+// non-nil, multiplexes the virtual processes onto physical nodes
+// (machine.Config.Placement). Every traced run self-checks: the harness
+// fails if the per-process event sums do not reconcile exactly with the
+// machine's compute/comm/idle partition.
+func TraceGS(v Variant, procs int, n, blk int64, placement []int) (*machine.Stats, *trace.Log, error) {
 	cfg := machine.DefaultConfig(procs)
+	cfg.Placement = placement
+	tr := trace.New()
+	cfg.Tracer = tr
 	if v == Handwritten {
 		res, err := wavefront.Run(cfg, n, blk, Input(n))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &res.Stats, nil
+		return &res.Stats, tr, nil
 	}
 	progs, err := CompileGS(v, procs, n, blk)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out, err := exec.RunSPMD(progs, cfg, map[string]*istruct.Matrix{"Old": Input(n)})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &out.Stats, nil
+	return &out.Stats, tr, nil
 }
 
 // triSource is a triangular-region relaxation: column j updates rows 2..j,

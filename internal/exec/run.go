@@ -67,6 +67,11 @@ func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istru
 	if err != nil {
 		return nil, err
 	}
+	// A traced run self-checks: the event log must reconcile exactly with the
+	// machine's compute/comm/idle partition.
+	if err := m.VerifyTrace(); err != nil {
+		return nil, err
+	}
 
 	out := &SPMDOutcome{
 		Stats:   m.Stats(),

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"procdecomp/internal/trace"
 )
 
 // Cost is virtual time in abstract machine cycles.
@@ -57,6 +59,12 @@ type Config struct {
 	// process spends blocked in a receive occupies no CPU — §5.4's latency
 	// hiding. Nil means one process per processor (the paper's base model).
 	Placement []int
+	// Tracer, when non-nil, records a per-process event log of the run —
+	// compute, send, recv, idle, and blocked spans with virtual-time
+	// start/end, peer, tag, and value count. Nil (the default) disables
+	// tracing; untraced runs pay only a nil check per action. Read the log
+	// after Run returns (Run is the happens-before edge).
+	Tracer *trace.Log
 }
 
 // DefaultConfig returns the iPSC/2-flavoured calibration used by the paper
@@ -160,6 +168,7 @@ type Machine struct {
 	boxes   []map[key][]message // per-destination mailboxes
 	waiting map[int]key         // blocked receivers and what they wait for
 	active  int                 // processes started and not yet finished
+	running bool                // Run in progress; guards Stats snapshots
 	failed  error               // first failure; aborts everything
 
 	msgs, vals int64
@@ -197,6 +206,9 @@ func New(cfg Config) *Machine {
 		}
 		m.sched = sched
 	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.Begin(cfg.Procs, cfg.Placement)
+	}
 	return m
 }
 
@@ -209,6 +221,7 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Run(body func(p *Proc)) error {
 	m.mu.Lock()
 	m.active = m.cfg.Procs
+	m.running = true
 	if m.sched != nil {
 		// Register every process before any runs, so the conservative
 		// scheduler's minimum is over the full set from the first action.
@@ -246,6 +259,7 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	wg.Wait()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.running = false
 	return m.failed
 }
 
@@ -265,10 +279,17 @@ func (m *Machine) checkDeadlockLocked() {
 	m.failed = ErrDeadlock
 }
 
-// Stats reports the metrics of a finished run.
+// Stats reports the metrics of a finished run. It must not be called while
+// Run is in progress: the per-process clocks and time partitions are written
+// lock-free by the process goroutines (single writer each), and the only
+// happens-before edge making them readable is Run returning. A mid-run call
+// would be a data race, so Stats panics instead of returning torn values.
 func (m *Machine) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.running {
+		panic("machine: Stats called while Run is in progress; per-process clocks are only readable after Run returns")
+	}
 	s := Stats{
 		Messages:  m.msgs,
 		Values:    m.vals,
@@ -284,6 +305,24 @@ func (m *Machine) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// VerifyTrace reconciles the run's event log against its Breakdown: for every
+// process the traced spans must tile [0, clock) exactly and their per-kind
+// sums must equal the compute/comm/idle partition (compute + comm + idle ==
+// final clock). It returns nil on an untraced machine. Call after Run.
+func (m *Machine) VerifyTrace() error {
+	t := m.cfg.Tracer
+	if t == nil {
+		return nil
+	}
+	s := m.Stats()
+	for i, b := range s.Breakdown {
+		if err := t.Reconcile(i, b.Compute, b.Comm, b.Idle, s.ProcTimes[i]); err != nil {
+			return fmt.Errorf("machine: trace does not reconcile with Breakdown: %w", err)
+		}
+	}
+	return nil
 }
 
 // Proc is one simulated process, usable only from the goroutine Run gave it
@@ -314,8 +353,12 @@ func (p *Proc) Compute(c Cost) {
 		p.muxCompute(c)
 		return
 	}
+	start := p.clock
 	p.clock += c
 	p.compute += c
+	if t := p.m.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindCompute, Start: start, End: p.clock, Peer: -1})
+	}
 }
 
 // Ops charges n scalar operations.
@@ -341,8 +384,13 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	}
 	cfg := &p.m.cfg
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	start := p.clock
 	p.clock += over
 	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: start, End: p.clock,
+			Peer: dst, Tag: tag, Values: len(vals)})
+	}
 	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
 
 	m := p.m
@@ -398,14 +446,23 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 	}
 	m.mu.Unlock()
 
+	cfg := &p.m.cfg
 	if msg.arrive > p.clock {
+		if t := cfg.Tracer; t != nil {
+			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindIdle, Start: p.clock, End: msg.arrive,
+				Peer: src, Tag: tag})
+		}
 		p.idle += msg.arrive - p.clock
 		p.clock = msg.arrive
 	}
-	cfg := &p.m.cfg
 	over := cfg.RecvStartup + Cost(len(msg.vals))*cfg.PerValue
+	start := p.clock
 	p.clock += over
 	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: start, End: p.clock,
+			Peer: src, Tag: tag, Values: len(msg.vals)})
+	}
 	return msg.vals
 }
 

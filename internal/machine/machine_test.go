@@ -332,6 +332,43 @@ func TestBreakdownAccountsEveryCycle(t *testing.T) {
 	}
 }
 
+// Stats must refuse to run mid-run: the per-process clocks are written
+// lock-free by the process goroutines, so a concurrent snapshot would be a
+// data race returning torn values. (This call used to race; under the guard
+// it panics deterministically, and `go test -race` keeps it honest.)
+func TestStatsDuringRunPanics(t *testing.T) {
+	m := New(testConfig(2))
+	inBody := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				close(inBody)
+			}
+			<-release
+			p.Compute(10)
+		})
+	}()
+	<-inBody
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Stats during Run did not panic")
+			}
+		}()
+		m.Stats()
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// After Run returns, Stats is safe again.
+	if st := m.Stats(); st.Makespan != 10 {
+		t.Errorf("makespan = %d, want 10", st.Makespan)
+	}
+}
+
 func TestIdleMeasuresWaiting(t *testing.T) {
 	m := New(testConfig(2))
 	if err := m.Run(func(p *Proc) {

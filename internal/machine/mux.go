@@ -1,6 +1,10 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"procdecomp/internal/trace"
+)
 
 // Multiplexed execution: several processes per processor.
 //
@@ -106,12 +110,21 @@ func (s *muxSched) acquireLocked(p *Proc) {
 }
 
 // busy charges c cycles of CPU to p's node, serializing with co-residents:
-// the work starts when both the process and the node are free.
+// the work starts when both the process and the node are free. Time the
+// process spends runnable but waiting for the node CPU (a co-resident held
+// it) is charged to its idle account — every cycle of the final clock must be
+// compute, comm, or idle — and traced as a blocked span.
 func (s *muxSched) busyLocked(p *Proc, c Cost) {
 	n := s.node[p.id]
 	start := p.clock
 	if s.nodes[n] > start {
 		start = s.nodes[n]
+	}
+	if gap := start - p.clock; gap > 0 {
+		p.idle += gap
+		if t := s.m.cfg.Tracer; t != nil {
+			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindBlocked, Start: p.clock, End: start, Peer: -1})
+		}
 	}
 	p.clock = start + c
 	s.nodes[n] = p.clock
@@ -126,6 +139,9 @@ func (p *Proc) muxCompute(c Cost) {
 	m.sched.acquireLocked(p)
 	m.sched.busyLocked(p, c)
 	p.compute += c
+	if t := m.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindCompute, Start: p.clock - c, End: p.clock, Peer: -1})
+	}
 }
 
 // muxSend is Proc.Send under multiplexing.
@@ -138,6 +154,10 @@ func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
 	m.sched.busyLocked(p, over)
 	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: p.clock - over, End: p.clock,
+			Peer: dst, Tag: tag, Values: len(vals)})
+	}
 	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
 	k := key{src: p.id, tag: tag}
 	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
@@ -196,12 +216,20 @@ func (p *Proc) muxRecv(src int, tag int64) []Value {
 		m.boxes[p.id][k] = q[1:]
 	}
 	if msg.arrive > p.clock {
+		if t := cfg.Tracer; t != nil {
+			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindIdle, Start: p.clock, End: msg.arrive,
+				Peer: src, Tag: tag})
+		}
 		p.idle += msg.arrive - p.clock
 		p.clock = msg.arrive // waiting: no CPU charged
 	}
 	over := cfg.RecvStartup + Cost(len(msg.vals))*cfg.PerValue
 	m.sched.busyLocked(p, over)
 	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: p.clock - over, End: p.clock,
+			Peer: src, Tag: tag, Values: len(msg.vals)})
+	}
 	return msg.vals
 }
 

@@ -143,6 +143,69 @@ func TestMuxDeadlockDetected(t *testing.T) {
 	}
 }
 
+// Deadlock detection through the muxRecv path: co-resident processes wait
+// on a cycle that crosses nodes while another resident finished long ago.
+func TestMuxDeadlockCoResidentCycle(t *testing.T) {
+	// Processes 0,1 on node 0; 2,3 on node 1. Process 0 computes and exits;
+	// 1 -> 3 -> 2 -> 1 wait on each other forever.
+	m := New(muxConfig(4, []int{0, 0, 1, 1}))
+	err := m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Compute(500)
+		case 1:
+			p.Recv(3, 1)
+		case 2:
+			p.Recv(1, 1)
+		case 3:
+			p.Recv(2, 1)
+		}
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+// A queued message under the wrong tag must not mask a multiplexed deadlock:
+// the detector requires a pending message that satisfies a waiter.
+func TestMuxDeadlockDespitePendingWrongTag(t *testing.T) {
+	m := New(muxConfig(3, []int{0, 0, 0}))
+	err := m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 5, 1.0) // delivered but never awaited
+			p.Recv(1, 6)
+		case 1:
+			p.Recv(0, 6)
+		case 2:
+			p.Compute(10)
+		}
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+// A traced multiplexed deadlock still reports ErrDeadlock (the tracer must
+// not interfere with the abort paths).
+func TestMuxDeadlockWithTracer(t *testing.T) {
+	cfg := muxConfig(2, []int{0, 0})
+	cfg.Tracer = nil // exercise default first
+	for _, traced := range []bool{false, true} {
+		cfg := cfg
+		if traced {
+			cfg.Tracer = newTestLog()
+		}
+		m := New(cfg)
+		err := m.Run(func(p *Proc) {
+			p.Recv(1-p.ID(), 99)
+		})
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("traced=%v: err = %v, want deadlock", traced, err)
+		}
+	}
+}
+
 func TestMuxPanicAborts(t *testing.T) {
 	m := New(muxConfig(3, []int{0, 0, 1}))
 	err := m.Run(func(p *Proc) {

@@ -1,0 +1,78 @@
+package trace
+
+// Communication-pattern analysis over the event log, in the spirit of the
+// per-message communication profiles PGAS-compiler work uses to drive
+// optimization decisions: who talks to whom (MessageMatrix) and what the
+// traffic is made of (TagHistogram). Both are derived purely from send
+// events, so they agree with the machine's Messages/Values counters by
+// construction.
+
+// MessageMatrix returns per-(src,dst) message counts: m[src][dst] is the
+// number of messages src sent to dst.
+func (l *Log) MessageMatrix() [][]int64 {
+	n := len(l.events)
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for src, evs := range l.events {
+		for _, e := range evs {
+			if e.Kind == KindSend {
+				m[src][e.Peer]++
+			}
+		}
+	}
+	return m
+}
+
+// TagStats aggregates the traffic carried under one message tag.
+type TagStats struct {
+	Messages int64
+	Values   int64
+}
+
+// TagHistogram returns per-tag message and value counts — which logical
+// channels (old-column shipments vs. new-value blocks, say) carry the
+// traffic.
+func (l *Log) TagHistogram() map[int64]TagStats {
+	h := map[int64]TagStats{}
+	for _, evs := range l.events {
+		for _, e := range evs {
+			if e.Kind != KindSend {
+				continue
+			}
+			s := h[e.Tag]
+			s.Messages++
+			s.Values += int64(e.Values)
+			h[e.Tag] = s
+		}
+	}
+	return h
+}
+
+// Messages is the total message count recorded in the log.
+func (l *Log) Messages() int64 {
+	var n int64
+	for _, evs := range l.events {
+		for _, e := range evs {
+			if e.Kind == KindSend {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BusiestLink returns the (src,dst) pair exchanging the most messages and
+// that count; ok is false when no messages were sent.
+func (l *Log) BusiestLink() (src, dst int, count int64, ok bool) {
+	m := l.MessageMatrix()
+	for s := range m {
+		for d, c := range m[s] {
+			if c > count {
+				src, dst, count, ok = s, d, c, true
+			}
+		}
+	}
+	return src, dst, count, ok
+}
