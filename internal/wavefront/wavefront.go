@@ -57,6 +57,10 @@ func Run(cfg machine.Config, n, blksize int64, old *istruct.Matrix) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	// A traced run self-checks against the Breakdown partition.
+	if err := m.VerifyTrace(); err != nil {
+		return nil, err
+	}
 
 	gathered, err := istruct.NewMatrix("New", n, n)
 	if err != nil {
