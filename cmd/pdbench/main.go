@@ -25,11 +25,13 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | all")
-		n        = flag.Int64("n", 128, "grid size N (the paper uses 128)")
-		blk      = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
-		procsCS  = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto)")
+		fig       = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | faults | all")
+		n         = flag.Int64("n", 128, "grid size N (the paper uses 128)")
+		blk       = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
+		procsCS   = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto)")
+		faultRate = flag.Float64("faults", 0.10, "top drop rate of the fault sweep (-fig faults)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault sweep's chaos schedules")
 	)
 	flag.Parse()
 
@@ -90,6 +92,12 @@ func main() {
 		// keeps the full sweep quick.
 		run("multiplexing", func() (*bench.Series, error) { return bench.MultiplexTable(4, *n/2, *blk) })
 	}
+	if want("faults") {
+		rates := []float64{0, *faultRate / 5, *faultRate / 2, *faultRate}
+		run("fault sweep", func() (*bench.Series, error) {
+			return bench.FaultSweep(*n/2, *blk, 8, *faultSeed, rates)
+		})
+	}
 
 	if *traceOut != "" {
 		p := 8
@@ -121,11 +129,19 @@ func main() {
 
 func parseProcs(s string) ([]int, error) {
 	var out []int
+	seen := map[int]bool{}
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v <= 0 {
+		if err != nil {
 			return nil, fmt.Errorf("bad processor count %q", part)
 		}
+		if v <= 0 {
+			return nil, fmt.Errorf("processor count %d must be positive", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate processor count %d", v)
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil

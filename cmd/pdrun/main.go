@@ -19,6 +19,7 @@ import (
 
 	"procdecomp/internal/core"
 	"procdecomp/internal/exec"
+	"procdecomp/internal/faults"
 	"procdecomp/internal/istruct"
 	"procdecomp/internal/lang"
 	"procdecomp/internal/machine"
@@ -30,14 +31,16 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("file", "", "Idn source file (default: stdin)")
-		entry   = flag.String("entry", "", "entry procedure")
-		procs   = flag.Int("procs", 4, "number of processors")
-		mode    = flag.String("mode", "opt3", "rtr | ctr | opt1 | opt2 | opt3")
-		blk      = flag.Int64("blk", 8, "block size for opt3")
-		check    = flag.Bool("check", true, "compare against the sequential interpreter")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
-		defines  defineFlag
+		file      = flag.String("file", "", "Idn source file (default: stdin)")
+		entry     = flag.String("entry", "", "entry procedure")
+		procs     = flag.Int("procs", 4, "number of processors")
+		mode      = flag.String("mode", "opt3", "rtr | ctr | opt1 | opt2 | opt3")
+		blk       = flag.Int64("blk", 8, "block size for opt3")
+		check     = flag.Bool("check", true, "compare against the sequential interpreter")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+		faultRate = flag.Float64("faults", 0, "inject a chaos fault schedule: drop messages at this rate, with duplicates, ack loss, and jitter (0 = reliable network)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault schedule (same seed, same faults)")
+		defines   defineFlag
 	)
 	flag.Var(&defines, "D", "override a constant, e.g. -D N=64 (repeatable)")
 	flag.Parse()
@@ -119,6 +122,9 @@ func main() {
 	}
 
 	cfg := machine.DefaultConfig(*procs)
+	if *faultRate > 0 {
+		cfg.Faults = faults.Chaos(*faultSeed, *faultRate)
+	}
 	var tr *trace.Log
 	if *traceOut != "" {
 		tr = trace.New()
@@ -132,6 +138,10 @@ func main() {
 	fmt.Printf("executed %s on %d simulated processors (%s)\n", name, *procs, *mode)
 	fmt.Printf("  makespan: %d cycles\n", out.Stats.Makespan)
 	fmt.Printf("  messages: %d (%d values, %d bytes)\n", out.Stats.Messages, out.Stats.Values, out.Stats.Bytes)
+	if *faultRate > 0 {
+		fmt.Printf("  faults: chaos rate %g, seed %d: %d retries, %d duplicates suppressed, %d lost\n",
+			*faultRate, *faultSeed, out.Stats.Retries, out.Stats.Duplicates, out.Stats.Lost)
+	}
 	if tr != nil {
 		if err := writeTrace(*traceOut, tr); err != nil {
 			fatal(err)

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"procdecomp/internal/faults"
+	"procdecomp/internal/machine"
+)
+
+// TestFaultsAllVariantsSameResults runs every Fig. 6 variant — interpreted
+// run-time resolution, compile-time residues, the three optimization levels,
+// and the handwritten wavefront — under a seeded chaos schedule (10% drops,
+// duplicates, ack loss, jitter) and checks that each computes exactly the
+// fault-free answer. RunGSWith validates the result matrix against the
+// sequential reference, so a single wrong value fails the run; here we
+// additionally pin the message accounting to the fault-free run and require
+// the fault tax to be visible in the makespan.
+func TestFaultsAllVariantsSameResults(t *testing.T) {
+	const (
+		procs = 4
+		n     = 24
+		blk   = 4
+	)
+	for _, v := range AllVariants {
+		clean, err := RunGS(v, procs, n, blk)
+		if err != nil {
+			t.Fatalf("%v fault-free: %v", v, err)
+		}
+		cfg := machine.DefaultConfig(procs)
+		cfg.Faults = faults.Chaos(42, 0.10)
+		chaotic, err := RunGSWith(cfg, v, n, blk)
+		if err != nil {
+			t.Fatalf("%v under chaos(42, 0.10): %v", v, err)
+		}
+		if chaotic.Messages != clean.Messages || chaotic.Values != clean.Values {
+			t.Errorf("%v: message accounting changed under faults: got %d msgs/%d vals, want %d/%d",
+				v, chaotic.Messages, chaotic.Values, clean.Messages, clean.Values)
+		}
+		if chaotic.Makespan < clean.Makespan {
+			t.Errorf("%v: chaos makespan %d below fault-free %d", v, chaotic.Makespan, clean.Makespan)
+		}
+	}
+}
+
+// TestFaultsVariantDeterminism: a chaos measurement is reproducible — the
+// whole point of the seed-driven schedule.
+func TestFaultsVariantDeterminism(t *testing.T) {
+	run := func() *Point {
+		cfg := machine.DefaultConfig(4)
+		cfg.Faults = faults.Chaos(7, 0.08)
+		pt, err := RunGSWith(cfg, OptimizedIII, 24, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("same seed, different measurements:\n%+v\n%+v", a, b)
+	}
+}

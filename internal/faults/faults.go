@@ -1,0 +1,211 @@
+// Package faults defines deterministic, seed-driven fault schedules for the
+// simulated multicomputer. The paper's machine model (§2.2) assumes a
+// perfectly reliable in-order network; attaching a Schedule to
+// machine.Config.Faults replaces that ideal fabric with one that can drop,
+// duplicate, or delay/jitter individual transmission attempts, take links
+// down for virtual-time windows, and slow down or crash-stop individual
+// processes. The machine's reliable transport retries over the faulty fabric
+// until delivery succeeds, so programs still compute the same values — only
+// virtual time (and the event trace) shows the storm.
+//
+// Determinism is the design constraint: the simulated machine runs its
+// processes as real goroutines, so any fault decision that depended on
+// wall-clock interleaving would make runs irreproducible. A Schedule
+// therefore carries no mutable PRNG state. Every decision is a pure hash of
+// (Seed, link, sequence number, attempt number, decision stream): the fate of
+// the k-th transmission attempt of the n-th message on link src→dst is fixed
+// the moment the Schedule is created, whatever order the goroutines reach it
+// in. Two runs with the same seed see byte-for-byte the same faults.
+package faults
+
+// Any is a wildcard endpoint in a Window: it matches every process.
+const Any = -1
+
+// Window takes the link Src→Dst down for the virtual-time interval [From,
+// To): every transmission attempt departing inside the window is dropped.
+// Src or Dst may be Any to down all links from/to a process, or the whole
+// fabric. With the reliable transport retrying under exponential backoff, a
+// finite window manifests as delay; an unbounded one (To = MaxUint64) as a
+// lost-forever message and a receive-watchdog error.
+type Window struct {
+	Src, Dst int
+	From, To uint64
+}
+
+// Schedule is one deterministic fault scenario. The zero value injects
+// nothing; probabilities are in [0, 1] and evaluated independently per
+// transmission attempt.
+type Schedule struct {
+	// Seed selects the scenario: same seed, same faults, always.
+	Seed uint64
+
+	// Drop is the probability that a data transmission attempt is dropped.
+	Drop float64
+	// Dup is the probability that a delivered attempt is duplicated by the
+	// network (the extra copy is suppressed by the receiver's transport and
+	// surfaces only in the wire trace and the Stats.Duplicates counter).
+	Dup float64
+	// AckDrop is the probability that the acknowledgement of a delivered
+	// attempt is dropped on the reverse link, forcing a retransmission of
+	// data the receiver already has — the classic duplicate-generation path.
+	AckDrop float64
+	// Delay is the probability that a delivered attempt is jittered.
+	Delay float64
+	// MaxJitter is the largest extra wire latency, in cycles, a jittered
+	// attempt can incur (uniform in [1, MaxJitter]). Jitter reorders
+	// arrivals; the transport's in-order release restores delivery order.
+	MaxJitter uint64
+
+	// Down lists link outage windows in virtual time.
+	Down []Window
+
+	// Slow multiplies the compute cost of the listed processes (a factor of
+	// 2 makes every Compute charge twice the cycles — a straggler).
+	Slow map[int]float64
+
+	// Crash stops the listed processes at the given virtual times: the first
+	// machine action a process begins at or after its crash point does not
+	// happen, and the process silently stops, like a node failing mid-run.
+	// Peers blocked on it surface receive-watchdog errors, not hangs.
+	Crash map[int]uint64
+
+	// RTO is the transport's initial retransmission timeout in cycles
+	// (doubled per retry). 0 means the machine picks a default from its
+	// wire latency.
+	RTO uint64
+	// MaxAttempts bounds the transport's retries; after this many failed
+	// attempts the message is lost forever and the link is declared dead.
+	// 0 means the default (16 — with 10% drop, loss odds are ~1e-16, so
+	// chaos runs still terminate).
+	MaxAttempts int
+}
+
+// Chaos is a convenience scenario: rate controls message drops, with
+// duplication and ack loss at half the rate and jitter at the full rate.
+// This is what the CLIs' -faults flag constructs.
+func Chaos(seed uint64, rate float64) *Schedule {
+	return &Schedule{
+		Seed:      seed,
+		Drop:      rate,
+		Dup:       rate / 2,
+		AckDrop:   rate / 2,
+		Delay:     rate,
+		MaxJitter: 200,
+	}
+}
+
+// Outcome is the fate of one data transmission attempt.
+type Outcome struct {
+	// Drop: the attempt never arrives; the sender's retry timer will fire.
+	Drop bool
+	// Jitter is extra wire latency on top of the machine's Latency.
+	Jitter uint64
+	// Dup: the network delivers a second copy of the attempt.
+	Dup bool
+	// AckDrop: the data arrived but its acknowledgement was lost; the
+	// sender retransmits and the receiver sees a duplicate.
+	AckDrop bool
+}
+
+// Decision streams keep the independent probabilities independent: each
+// (stream, link, seq, attempt) tuple hashes to its own uniform variate.
+const (
+	streamDrop uint64 = iota + 1
+	streamDup
+	streamAckDrop
+	streamDelay
+	streamJitter
+)
+
+// splitmix64's finalizer: a full-avalanche 64-bit mixer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll returns a uniform variate in [0, 1) that is a pure function of the
+// schedule seed and the decision coordinates.
+func (s *Schedule) roll(stream uint64, src, dst int, seq uint64, attempt int) float64 {
+	h := s.Seed
+	h = mix(h ^ stream)
+	h = mix(h ^ uint64(uint32(src)) ^ uint64(uint32(dst))<<32)
+	h = mix(h ^ seq)
+	h = mix(h ^ uint64(attempt))
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// Attempt decides the fate of transmission attempt number attempt (1-based)
+// of message seq on link src→dst, departing at virtual time depart. The
+// result is deterministic: it depends only on the schedule and the
+// arguments, never on call order.
+func (s *Schedule) Attempt(src, dst int, seq uint64, attempt int, depart uint64) Outcome {
+	var o Outcome
+	if s.LinkDown(src, dst, depart) || s.roll(streamDrop, src, dst, seq, attempt) < s.Drop {
+		o.Drop = true
+		return o
+	}
+	if s.Delay > 0 && s.MaxJitter > 0 && s.roll(streamDelay, src, dst, seq, attempt) < s.Delay {
+		o.Jitter = 1 + uint64(s.roll(streamJitter, src, dst, seq, attempt)*float64(s.MaxJitter))
+	}
+	if s.roll(streamDup, src, dst, seq, attempt) < s.Dup {
+		o.Dup = true
+	}
+	// The ack travels the reverse link after the data lands.
+	arrive := depart + o.Jitter
+	if s.LinkDown(dst, src, arrive) || s.roll(streamAckDrop, src, dst, seq, attempt) < s.AckDrop {
+		o.AckDrop = true
+	}
+	return o
+}
+
+// LinkDown reports whether the link src→dst is inside an outage window at
+// virtual time t.
+func (s *Schedule) LinkDown(src, dst int, t uint64) bool {
+	for _, w := range s.Down {
+		if w.Src != Any && w.Src != src {
+			continue
+		}
+		if w.Dst != Any && w.Dst != dst {
+			continue
+		}
+		if t >= w.From && t < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleCompute applies process p's slowdown factor to a compute charge.
+func (s *Schedule) ScaleCompute(p int, c uint64) uint64 {
+	f, ok := s.Slow[p]
+	if !ok || f <= 0 || f == 1 {
+		return c
+	}
+	return uint64(float64(c) * f)
+}
+
+// CrashPoint returns process p's crash-stop virtual time, if it has one.
+func (s *Schedule) CrashPoint(p int) (uint64, bool) {
+	t, ok := s.Crash[p]
+	return t, ok
+}
+
+// Retry returns the transport's retransmission parameters with defaults
+// applied: rto is the initial timeout given the machine's wire latency, and
+// max is the attempt cap after which a message is lost forever.
+func (s *Schedule) Retry(latency uint64) (rto uint64, max int) {
+	rto = s.RTO
+	if rto == 0 {
+		// Past one round trip plus slack, so a fault-free ack beats the timer.
+		rto = 4*latency + 16
+	}
+	max = s.MaxAttempts
+	if max <= 0 {
+		max = 16
+	}
+	return rto, max
+}

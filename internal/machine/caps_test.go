@@ -1,0 +1,215 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"procdecomp/internal/trace"
+)
+
+// TestMailboxCapBackpressure: with capacity 1, a fast sender blocks in
+// virtual time until the receiver frees a slot, adopting the dequeue's
+// virtual time — exact numbers checked end to end, and the blocked spans
+// reconcile against the Breakdown.
+func TestMailboxCapBackpressure(t *testing.T) {
+	log := trace.New()
+	cfg := testConfig(2)
+	cfg.MailboxCap = 1
+	cfg.Tracer = log
+	m := New(cfg)
+	var got []Value
+	err := m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 3; i++ {
+				p.Send(1, 1, Value(i))
+			}
+		case 1:
+			p.Compute(1000)
+			for i := 0; i < 3; i++ {
+				got = append(got, p.Recv1(0, 1))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Value{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("received %v, want %v", got, want)
+	}
+	st := m.Stats()
+	// Send 1: 0..102, arrives 107. Send 2 waits for the first dequeue: the
+	// receiver computes to 1000, dequeues at 1012; sender blocked 102..1012,
+	// sends 1012..1114, arrives 1119. Send 3 waits for the second dequeue at
+	// 1131 (receiver idles 1012..1119 then unpacks); sender blocked
+	// 1114..1131, sends 1131..1233, arrives 1238; final receive ends 1250.
+	if st.Makespan != 1250 {
+		t.Errorf("makespan = %d, want 1250", st.Makespan)
+	}
+	if idle := st.Breakdown[0].Idle; idle != 927 {
+		t.Errorf("sender blocked cycles = %d, want 927 (910 + 17)", idle)
+	}
+	if err := m.VerifyTrace(); err != nil {
+		t.Errorf("bounded-mailbox trace does not reconcile: %v", err)
+	}
+	var blocked uint64
+	for _, e := range log.Events(0) {
+		if e.Kind == trace.KindBlocked {
+			blocked += e.Dur()
+			if e.Peer != 1 {
+				t.Errorf("blocked span names peer %d, want destination 1", e.Peer)
+			}
+		}
+	}
+	if blocked != 927 {
+		t.Errorf("traced blocked cycles = %d, want 927", blocked)
+	}
+}
+
+// TestMailboxCapUnboundedIdentical: capacity 0 must leave the machine
+// bit-identical to the seed semantics (sends never block).
+func TestMailboxCapUnboundedIdentical(t *testing.T) {
+	run := func(capacity int) Stats {
+		cfg := testConfig(2)
+		cfg.MailboxCap = capacity
+		m := New(cfg)
+		if err := m.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				for i := 0; i < 5; i++ {
+					p.Send(1, 1, Value(i))
+				}
+			case 1:
+				p.Compute(5000)
+				for i := 0; i < 5; i++ {
+					p.Recv1(0, 1)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats()
+	}
+	if z, big := run(0), run(100); !reflect.DeepEqual(z, big) {
+		t.Errorf("capacity 0 and never-binding capacity differ:\n%+v\n%+v", z, big)
+	}
+}
+
+// TestMailboxCapDeadlock: two processes that each fill the other's bounded
+// channel before receiving deadlock in Send — detected and diagnosed, not
+// hung.
+func TestMailboxCapDeadlock(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MailboxCap = 1
+	m := New(cfg)
+	err := m.Run(func(p *Proc) {
+		other := 1 - p.ID()
+		p.Send(other, 0, 1.0)
+		p.Send(other, 0, 2.0) // channel full: blocks until the other dequeues
+		p.Recv(other, 0)
+		p.Recv(other, 0)
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Fatalf("blocked = %+v, want both processes", de.Blocked)
+	}
+	for i, b := range de.Blocked {
+		if !b.Send || b.Proc != i || b.Peer != 1-i {
+			t.Errorf("blocked[%d] = %+v, want proc %d blocked in send to %d", i, b, i, 1-i)
+		}
+	}
+	if msg := err.Error(); !strings.Contains(msg, "blocked in send") || !strings.Contains(msg, "channel ->1 full") {
+		t.Errorf("error %q lacks send-side diagnostics", msg)
+	}
+}
+
+// TestMailboxCapMux: bounded channels compose with multiplexed placement —
+// the run completes deterministically and its trace reconciles.
+func TestMailboxCapMux(t *testing.T) {
+	run := func() Stats {
+		log := trace.New()
+		cfg := testConfig(4)
+		cfg.Placement = []int{0, 0, 1, 1}
+		cfg.MailboxCap = 1
+		cfg.Tracer = log
+		m := New(cfg)
+		if err := m.Run(func(p *Proc) {
+			next, prev := (p.ID()+1)%4, (p.ID()+3)%4
+			for k := 0; k < 3; k++ {
+				p.Send(next, 0, Value(k))
+				if v := p.Recv1(prev, 0); v != Value(k) {
+					t.Errorf("proc %d round %d: got %v", p.ID(), k, v)
+				}
+				p.Compute(20)
+			}
+		}); err != nil {
+			t.Fatalf("multiplexed bounded run failed: %v", err)
+		}
+		if err := m.VerifyTrace(); err != nil {
+			t.Errorf("multiplexed bounded trace does not reconcile: %v", err)
+		}
+		return m.Stats()
+	}
+	if st1, st2 := run(), run(); !reflect.DeepEqual(st1, st2) {
+		t.Errorf("multiplexed bounded run not deterministic:\n%+v\n%+v", st1, st2)
+	}
+}
+
+// TestDeadlockDiagnostics: the deadlock error names who is blocked on which
+// (src, tag) and what is sitting unread in their mailboxes.
+func TestDeadlockDiagnostics(t *testing.T) {
+	m := New(testConfig(2))
+	err := m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 9, 1.0) // delivered but never asked for
+			p.Recv(1, 1)
+		case 1:
+			p.Recv(0, 2) // wrong tag: 9 is pending, 2 never comes
+		}
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 || de.Blocked[0].Proc != 0 || de.Blocked[1].Proc != 1 {
+		t.Fatalf("blocked = %+v, want procs 0 and 1 in order", de.Blocked)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"proc 0 blocked in recv",
+		"awaits (src 1, tag 1)",
+		"proc 1 blocked in recv",
+		"awaits (src 0, tag 2)",
+		"mailbox holds (src 0, tag 9)x1",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestRecvOutOfRangePanics: Recv validates its source like Send validates
+// its destination (the seed's guard, pinned by test).
+func TestRecvOutOfRangePanics(t *testing.T) {
+	m := New(testConfig(2))
+	err := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Recv(2, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "recv from processor 2 out of range [0,2)") {
+		t.Errorf("err = %v, want out-of-range receive panic", err)
+	}
+}

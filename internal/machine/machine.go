@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"procdecomp/internal/faults"
 	"procdecomp/internal/trace"
 )
 
@@ -65,6 +66,25 @@ type Config struct {
 	// tracing; untraced runs pay only a nil check per action. Read the log
 	// after Run returns (Run is the happens-before edge).
 	Tracer *trace.Log
+	// Faults, when non-nil, replaces the ideal fabric with a deterministic
+	// seed-driven faulty one (drops, duplicates, jitter, link outages,
+	// process slowdowns and crash-stops — see internal/faults) under a
+	// reliable transport: per-link sequence numbers, acknowledgements,
+	// virtual-time retry timers with exponential backoff, duplicate
+	// suppression, and in-order release (transport.go). Delivered values
+	// are identical to a fault-free run; only virtual time and the wire
+	// trace change. A message lost forever (attempt budget exhausted, or a
+	// crash-stopped sender) surfaces as a RecvTimeoutError naming the
+	// blocked receive, never a hang. Nil (the default) keeps the ideal
+	// fabric, bit-identical to earlier versions.
+	Faults *faults.Schedule
+	// MailboxCap, when positive, bounds every (src, dst) channel to that
+	// many undelivered messages: Send blocks in virtual time until the
+	// receiver drains the channel below the cap (backpressure). The wait is
+	// charged to the sender's idle account and traced as a blocked span.
+	// 0 (the default) keeps channels unbounded, preserving the iPSC's
+	// never-blocking csend semantics.
+	MailboxCap int
 }
 
 // DefaultConfig returns the iPSC/2-flavoured calibration used by the paper
@@ -138,12 +158,16 @@ func (b Breakdown) Utilization() float64 {
 
 // Stats summarizes a finished run.
 type Stats struct {
-	Messages  int64       // total messages sent
+	Messages  int64       // total messages sent (application-level)
 	Values    int64       // total values transferred
 	Bytes     int64       // total bytes transferred
 	Makespan  Cost        // max final clock over all processors
 	ProcTimes []Cost      // final clock per processor
 	Breakdown []Breakdown // per-processor time partition
+	// Transport counters, nonzero only under Config.Faults.
+	Retries    int64 // retransmission attempts by the reliable transport
+	Duplicates int64 // redundant copies suppressed by the receiver transport
+	Lost       int64 // messages lost forever (attempt budget exhausted)
 }
 
 // MeanUtilization averages the compute fraction over all processors.
@@ -166,18 +190,34 @@ type Machine struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	boxes   []map[key][]message // per-destination mailboxes
-	waiting map[int]key         // blocked receivers and what they wait for
+	waiting map[int]waitInfo    // blocked processes and what they wait for
 	active  int                 // processes started and not yet finished
 	running bool                // Run in progress; guards Stats snapshots
 	failed  error               // first failure; aborts everything
 
-	msgs, vals int64
-	procs      []*Proc
-	sched      *muxSched // nil unless Config.Placement multiplexes processes
+	// Fault-injection and backpressure state (transport.go). links and lost
+	// are allocated only when Config.Faults or Config.MailboxCap is set.
+	links   [][]linkState        // per-(src,dst) transport/backpressure state
+	lost    []map[key]lostRecord // per-destination lost-forever messages
+	crashed []bool               // fault-injected crash-stopped processes
+
+	msgs, vals               int64
+	retries, dups, lostCount int64
+	procs                    []*Proc
+	sched                    *muxSched // nil unless Config.Placement multiplexes processes
 }
 
-// ErrDeadlock is returned by Run when every live process is blocked in Recv.
+// ErrDeadlock is returned by Run when every live process is blocked in Recv
+// (or, under Config.MailboxCap, in Send). The concrete error is a
+// *DeadlockError carrying per-process diagnostics; errors.Is against this
+// sentinel keeps working.
 var ErrDeadlock = errors.New("machine: deadlock: all processes blocked in receive")
+
+// ErrRecvTimeout is returned by Run when the receive watchdog diagnoses a
+// blocked receive that can never be satisfied under the fault schedule (its
+// message was lost forever, its link is dead, or its sender crash-stopped).
+// The concrete error is a *RecvTimeoutError naming the blocked (src, tag).
+var ErrRecvTimeout = errors.New("machine: receive watchdog timeout")
 
 // errAborted interrupts processes blocked in Recv after another process
 // failed; Run reports the original failure.
@@ -191,13 +231,21 @@ func New(cfg Config) *Machine {
 	if cfg.ValueBytes <= 0 {
 		cfg.ValueBytes = 4
 	}
-	m := &Machine{cfg: cfg, waiting: map[int]key{}}
+	m := &Machine{cfg: cfg, waiting: map[int]waitInfo{}}
 	m.cond = sync.NewCond(&m.mu)
 	m.boxes = make([]map[key][]message, cfg.Procs)
 	m.procs = make([]*Proc, cfg.Procs)
+	m.crashed = make([]bool, cfg.Procs)
 	for i := range m.boxes {
 		m.boxes[i] = map[key][]message{}
 		m.procs[i] = &Proc{id: i, m: m}
+	}
+	if m.faultive() {
+		m.links = make([][]linkState, cfg.Procs)
+		for i := range m.links {
+			m.links[i] = make([]linkState, cfg.Procs)
+		}
+		m.lost = make([]map[key]lostRecord, cfg.Procs)
 	}
 	if cfg.Placement != nil {
 		sched, err := initMux(m, cfg.Placement)
@@ -245,6 +293,12 @@ func (m *Machine) Run(body func(p *Proc)) error {
 				if r := recover(); r != nil {
 					if err, ok := r.(error); ok && errors.Is(err, errAborted) {
 						// Secondary abort; keep the original failure.
+					} else if cs, ok := r.(crashStop); ok {
+						// A fault-scheduled crash-stop: the process dies
+						// silently, like a failed node. The run is not
+						// aborted — peers that depended on it surface
+						// watchdog or deadlock errors naming it.
+						m.crashed[cs.proc] = true
 					} else if m.failed == nil {
 						m.failed = fmt.Errorf("machine: process %d failed: %v", p.id, r)
 					}
@@ -263,20 +317,41 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	return m.failed
 }
 
-// checkDeadlockLocked flags deadlock when every live process is blocked in
-// Recv and no pending message can satisfy any of them. The second condition
-// matters: a receiver woken by a send still counts as waiting until it
-// reacquires the lock, so the count alone would misfire.
+// checkDeadlockLocked flags deadlock when every live process is blocked (in
+// Recv, or in Send on a full channel) and nothing pending can satisfy any of
+// them. The satisfiability test matters: a receiver woken by a send — or a
+// capacity-blocked sender woken by a dequeue — still counts as waiting until
+// it reacquires the lock, so the count alone would misfire. At quiescence,
+// if faults made a blocked receive provably unsatisfiable, the failure is a
+// RecvTimeoutError naming it (the watchdog); otherwise a DeadlockError
+// listing every blocked process and its pending mailbox.
 func (m *Machine) checkDeadlockLocked() {
 	if m.failed != nil || m.active == 0 || len(m.waiting) != m.active {
 		return
 	}
-	for pid, k := range m.waiting {
-		if len(m.boxes[pid][k]) > 0 {
+	for pid, wi := range m.waiting {
+		if wi.send {
+			if uint64(len(m.links[pid][wi.dst].freed)) > wi.idx {
+				return // the slot freed; the sender just hasn't woken yet
+			}
+		} else if len(m.boxes[pid][wi.k]) > 0 {
 			return
 		}
 	}
-	m.failed = ErrDeadlock
+	// Quiescent: nothing can make progress. Prefer the watchdog diagnosis,
+	// scanning in process order so the reported receive is deterministic.
+	for pid := 0; pid < m.cfg.Procs; pid++ {
+		wi, ok := m.waiting[pid]
+		if !ok || wi.send {
+			continue
+		}
+		if reason := m.unsatisfiableLocked(pid, wi.k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: pid, Src: wi.k.src, Tag: wi.k.tag,
+				Clock: m.procs[pid].clock, Reason: reason}
+			return
+		}
+	}
+	m.failed = m.deadlockErrorLocked()
 }
 
 // Stats reports the metrics of a finished run. It must not be called while
@@ -291,11 +366,14 @@ func (m *Machine) Stats() Stats {
 		panic("machine: Stats called while Run is in progress; per-process clocks are only readable after Run returns")
 	}
 	s := Stats{
-		Messages:  m.msgs,
-		Values:    m.vals,
-		Bytes:     m.vals * int64(m.cfg.ValueBytes),
-		ProcTimes: make([]Cost, len(m.procs)),
-		Breakdown: make([]Breakdown, len(m.procs)),
+		Messages:   m.msgs,
+		Values:     m.vals,
+		Bytes:      m.vals * int64(m.cfg.ValueBytes),
+		ProcTimes:  make([]Cost, len(m.procs)),
+		Breakdown:  make([]Breakdown, len(m.procs)),
+		Retries:    m.retries,
+		Duplicates: m.dups,
+		Lost:       m.lostCount,
 	}
 	for i, p := range m.procs {
 		s.ProcTimes[i] = p.clock
@@ -347,8 +425,14 @@ func (p *Proc) Procs() int { return p.m.cfg.Procs }
 // Clock returns the process's current virtual time.
 func (p *Proc) Clock() Cost { return p.clock }
 
-// Compute advances the clock by c cycles of local work.
+// Compute advances the clock by c cycles of local work. Under a fault
+// schedule, a slowed-down process pays a scaled charge and a crash-stopped
+// one stops here.
 func (p *Proc) Compute(c Cost) {
+	if f := p.m.cfg.Faults; f != nil {
+		p.checkCrash()
+		c = Cost(f.ScaleCompute(p.id, uint64(c)))
+	}
 	if p.m.sched != nil {
 		p.muxCompute(c)
 		return
@@ -378,8 +462,14 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	if dst < 0 || dst >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("machine: send to processor %d out of range [0,%d)", dst, p.m.cfg.Procs))
 	}
+	p.checkCrash()
 	if p.m.sched != nil {
 		p.muxSend(dst, tag, vals)
+		return
+	}
+	m := p.m
+	if m.faultive() {
+		p.faultySend(dst, tag, vals)
 		return
 	}
 	cfg := &p.m.cfg
@@ -393,7 +483,6 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	}
 	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
 
-	m := p.m
 	m.mu.Lock()
 	if m.failed != nil {
 		m.mu.Unlock()
@@ -407,6 +496,44 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	m.mu.Unlock()
 }
 
+// faultySend is Send over the fault transport and/or bounded channels. The
+// whole action runs under the machine mutex: the capacity wait, the send
+// overhead charge, the reliable-delivery simulation, and the enqueue.
+func (p *Proc) faultySend(dst int, tag int64, vals []Value) {
+	m := p.m
+	cfg := &m.cfg
+	m.mu.Lock()
+	if m.failed != nil {
+		m.mu.Unlock()
+		panic(errAborted)
+	}
+	m.capWaitLocked(p, dst) // unlocks and panics if the run fails meanwhile
+
+	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	start := p.clock
+	p.clock += over
+	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: start, End: p.clock,
+			Peer: dst, Tag: tag, Values: len(vals)})
+	}
+	arrive, ok := p.clock+cfg.Latency, true
+	if cfg.Faults != nil {
+		arrive, ok = m.transmitLocked(p, dst, tag, len(vals), p.clock)
+	}
+	m.msgs++
+	m.vals += int64(len(vals))
+	if ok {
+		k := key{src: p.id, tag: tag}
+		m.boxes[dst][k] = append(m.boxes[dst][k], message{vals: append([]Value(nil), vals...), arrive: arrive})
+		m.links[p.id][dst].sent++
+	}
+	// Broadcast even on a lost message: a receiver blocked on this queue
+	// must wake and run its watchdog check.
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
 // Recv blocks until a message with the given tag from processor src is
 // available — the paper's crecv. The receiver's clock advances to the
 // message's arrival time if it was earlier (idle wait), then is charged
@@ -415,6 +542,7 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("machine: recv from processor %d out of range [0,%d)", src, p.m.cfg.Procs))
 	}
+	p.checkCrash()
 	if p.m.sched != nil {
 		return p.muxRecv(src, tag)
 	}
@@ -426,7 +554,17 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 			m.mu.Unlock()
 			panic(errAborted)
 		}
-		m.waiting[p.id] = k
+		// The watchdog: a receive that can be proven unsatisfiable — its
+		// message lost forever, its link dead, its sender crash-stopped —
+		// fails now, at the receiver's virtual time, instead of hanging
+		// until (or past) global quiescence.
+		if reason := m.unsatisfiableLocked(p.id, k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: p.id, Src: src, Tag: tag, Clock: p.clock, Reason: reason}
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			panic(errAborted)
+		}
+		m.waiting[p.id] = waitInfo{k: k}
 		m.checkDeadlockLocked()
 		if m.failed != nil {
 			delete(m.waiting, p.id)
@@ -444,8 +582,26 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 	} else {
 		m.boxes[p.id][k] = q[1:]
 	}
+	if m.cfg.MailboxCap > 0 {
+		// Bounded channels: finish the receive accounting under the lock so
+		// the freed slot carries the receiver's post-overhead clock — the
+		// virtual time a capacity-blocked sender will resume at.
+		vals := p.finishRecv(msg, src, tag)
+		ls := &m.links[src][p.id]
+		ls.freed = append(ls.freed, p.clock)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return vals
+	}
 	m.mu.Unlock()
+	return p.finishRecv(msg, src, tag)
+}
 
+// finishRecv performs the receiver-side accounting of a dequeued message:
+// the idle jump to its arrival stamp, then the unpacking overhead. It
+// touches only the receiving process's own state, so it is safe with or
+// without the machine mutex.
+func (p *Proc) finishRecv(msg message, src int, tag int64) []Value {
 	cfg := &p.m.cfg
 	if msg.arrive > p.clock {
 		if t := cfg.Tracer; t != nil {

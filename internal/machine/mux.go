@@ -150,7 +150,11 @@ func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
 	cfg := &m.cfg
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.sched.acquireLocked(p)
+	if cfg.MailboxCap > 0 {
+		m.muxCapWaitLocked(p, dst)
+	} else {
+		m.sched.acquireLocked(p)
+	}
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
 	m.sched.busyLocked(p, over)
 	p.comm += over
@@ -158,21 +162,80 @@ func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: p.clock - over, End: p.clock,
 			Peer: dst, Tag: tag, Values: len(vals)})
 	}
-	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
-	k := key{src: p.id, tag: tag}
-	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
+	arrive, ok := p.clock+cfg.Latency, true
+	if cfg.Faults != nil {
+		arrive, ok = m.transmitLocked(p, dst, tag, len(vals), p.clock)
+	}
 	m.msgs++
 	m.vals += int64(len(vals))
+	if !ok {
+		// Lost forever: nothing arrives, nobody to wake — but broadcast so
+		// blocked receivers re-run their watchdog check.
+		m.cond.Broadcast()
+		return
+	}
+	msg := message{vals: append([]Value(nil), vals...), arrive: arrive}
+	k := key{src: p.id, tag: tag}
+	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
+	if m.faultive() {
+		m.links[p.id][dst].sent++
+	}
 	// If the destination is asleep waiting for exactly this message, it
 	// re-enters the active set NOW, atomically with the send — otherwise a
 	// process with a larger clock could be admitted before the receiver's
 	// goroutine wakes, breaking the deterministic admission order.
 	if m.sched.state[dst] == muxWaiting {
-		if wk, ok := m.waiting[dst]; ok && wk == k {
+		if wi, ok := m.waiting[dst]; ok && !wi.send && wi.k == k {
 			m.sched.state[dst] = muxActive
 		}
 	}
 	m.cond.Broadcast()
+}
+
+// muxCapWaitLocked is capWaitLocked under multiplexing: it acquires p's
+// scheduler turn AND a free slot on the channel p→dst together. While parked
+// for capacity the process leaves the active set (like a blocked receive), so
+// co-residents run; on wake it re-acquires its turn before re-checking — the
+// same loop shape as muxRecv, preserving the conservative admission order.
+// Called with m.mu held; panics with errAborted (mutex released by the
+// caller's deferred unlock) if the run fails while waiting.
+func (m *Machine) muxCapWaitLocked(p *Proc, dst int) {
+	capN := uint64(m.cfg.MailboxCap)
+	ls := &m.links[p.id][dst]
+	for {
+		m.sched.acquireLocked(p)
+		if ls.sent < capN {
+			return
+		}
+		idx := ls.sent - capN
+		if uint64(len(ls.freed)) > idx {
+			if freeAt := ls.freed[idx]; freeAt > p.clock {
+				if t := m.cfg.Tracer; t != nil {
+					t.Emit(trace.Event{Proc: p.id, Kind: trace.KindBlocked, Start: p.clock, End: freeAt, Peer: dst})
+				}
+				p.idle += freeAt - p.clock
+				p.clock = freeAt
+			}
+			return
+		}
+		m.sched.state[p.id] = muxWaiting
+		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
+		m.checkDeadlockLocked()
+		if m.failed != nil {
+			delete(m.waiting, p.id)
+			m.sched.state[p.id] = muxActive
+			m.cond.Broadcast()
+			panic(errAborted)
+		}
+		m.cond.Broadcast()
+		m.cond.Wait()
+		delete(m.waiting, p.id)
+		m.sched.state[p.id] = muxActive
+		if m.failed != nil {
+			m.cond.Broadcast()
+			panic(errAborted)
+		}
+	}
 }
 
 // muxRecv is Proc.Recv under multiplexing. Waiting for the message occupies
@@ -188,10 +251,17 @@ func (p *Proc) muxRecv(src int, tag int64) []Value {
 		if len(m.boxes[p.id][k]) > 0 {
 			break
 		}
+		// The watchdog (see Recv): a provably unsatisfiable receive fails
+		// now instead of hanging.
+		if reason := m.unsatisfiableLocked(p.id, k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: p.id, Src: src, Tag: tag, Clock: p.clock, Reason: reason}
+			m.cond.Broadcast()
+			panic(errAborted)
+		}
 		// Nothing to receive: step out of the active set so co-residents
 		// (and everyone else) can proceed.
 		m.sched.state[p.id] = muxWaiting
-		m.waiting[p.id] = k
+		m.waiting[p.id] = waitInfo{k: k}
 		m.checkDeadlockLocked()
 		if m.failed != nil {
 			delete(m.waiting, p.id)
@@ -229,6 +299,19 @@ func (p *Proc) muxRecv(src int, tag int64) []Value {
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: p.clock - over, End: p.clock,
 			Peer: src, Tag: tag, Values: len(msg.vals)})
+	}
+	if cfg.MailboxCap > 0 {
+		// Free the channel slot at the receiver's post-overhead clock, and —
+		// like muxSend waking a waiting receiver — reactivate a sender parked
+		// on this channel NOW, atomically with the free, so the deterministic
+		// admission order cannot depend on when its goroutine wakes.
+		m.links[src][p.id].freed = append(m.links[src][p.id].freed, p.clock)
+		if m.sched.state[src] == muxWaiting {
+			if wi, ok := m.waiting[src]; ok && wi.send && wi.dst == p.id {
+				m.sched.state[src] = muxActive
+			}
+		}
+		m.cond.Broadcast()
 	}
 	return msg.vals
 }

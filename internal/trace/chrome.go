@@ -18,8 +18,13 @@ type chromeEvent struct {
 	Dur  uint64         `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
+
+// networkPid groups the transport's wire events into their own Chrome
+// "process", away from the node/processor tracks.
+const networkPid = 1 << 20
 
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
@@ -84,6 +89,34 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 				ce.Args = map[string]any{"src": e.Peer, "tag": e.Tag}
 			}
 			events = append(events, ce)
+		}
+	}
+
+	// Transport activity (retries, drops, duplicate suppression) renders as
+	// instant events on a "network" process, one track per sending process,
+	// so a chaos run shows its fault storm under the processor timeline.
+	if wire := l.WireEvents(); len(wire) > 0 {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: networkPid,
+			Args: map[string]any{"name": "network"},
+		})
+		seen := map[int]bool{}
+		for _, e := range wire {
+			if !seen[e.Src] {
+				seen[e.Src] = true
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: networkPid, Tid: e.Src,
+					Args: map[string]any{"name": fmt.Sprintf("links from proc %d", e.Src)},
+				})
+			}
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Cat: "wire", Ph: "i", S: "t",
+				Ts: e.Time, Pid: networkPid, Tid: e.Src,
+				Args: map[string]any{
+					"src": e.Src, "dst": e.Dst, "tag": e.Tag,
+					"seq": e.Seq, "attempt": e.Attempt, "values": e.Values,
+				},
+			})
 		}
 	}
 

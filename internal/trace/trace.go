@@ -82,6 +82,7 @@ func (e Event) Dur() uint64 { return e.End - e.Start }
 type Log struct {
 	node   []int // per-process node under Placement; nil for the direct model
 	events [][]Event
+	wireState
 }
 
 // New returns an empty log, ready to pass as machine.Config.Tracer.
@@ -97,6 +98,9 @@ func (l *Log) Begin(procs int, placement []int) {
 		l.node = append([]int(nil), placement...)
 	}
 	l.events = make([][]Event, procs)
+	l.wmu.Lock()
+	l.wire = nil
+	l.wmu.Unlock()
 }
 
 // Emit appends one event to its process's log. Consecutive compute spans are
