@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,15 +22,17 @@ import (
 	"strings"
 
 	"procdecomp/internal/bench"
+	"procdecomp/internal/machine"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | balance | multiplex | faults | all")
+		fig       = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | attribution | balance | multiplex | faults | none | all")
 		n         = flag.Int64("n", 128, "grid size N (the paper uses 128)")
 		blk       = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
 		procsCS   = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
-		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto)")
+		jsonOut   = flag.String("json", "", "write the Fig. 6 sweep with critical-path attribution as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto, analyze with pdtrace)")
 		faultRate = flag.Float64("faults", 0.10, "top drop rate of the fault sweep (-fig faults)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault sweep's chaos schedules")
 	)
@@ -84,6 +87,9 @@ func main() {
 	if want("utilization") {
 		run("utilization", func() (*bench.Series, error) { return bench.UtilizationTable(*n, 8, *blk) })
 	}
+	if want("attribution") {
+		run("attribution", func() (*bench.Series, error) { return bench.AttributionTable(*n, 8, *blk) })
+	}
 	if want("balance") {
 		run("load balance", func() (*bench.Series, error) { return bench.LoadBalanceTable(8) })
 	}
@@ -99,6 +105,27 @@ func main() {
 		})
 	}
 
+	if *jsonOut != "" {
+		recs, err := bench.Figure6JSON(*n, procs, *blk)
+		if err != nil {
+			fatal(fmt.Errorf("json: %w", err))
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("json: %d records (Fig. 6 sweep with makespan attribution) -> %s\n", len(recs), *jsonOut)
+	}
+
 	if *traceOut != "" {
 		p := 8
 		for _, q := range procs {
@@ -107,7 +134,7 @@ func main() {
 				break
 			}
 		}
-		st, tr, err := bench.TraceGS(bench.OptimizedIII, p, *n, *blk, nil)
+		st, d, err := bench.DumpGS(machine.DefaultConfig(p), bench.OptimizedIII, *n, *blk)
 		if err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
 		}
@@ -115,15 +142,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := tr.WriteChromeTrace(f); err != nil {
+		if err := d.WriteTrace(f); err != nil {
 			f.Close()
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace: Optimized III, S=%d, N=%d, blksize %d: %d events, makespan %d -> %s\n",
-			p, *n, *blk, tr.Len(), st.Makespan, *traceOut)
+		fmt.Printf("trace: Optimized III, S=%d, N=%d, blksize %d: makespan %d, %d messages -> %s\n",
+			p, *n, *blk, st.Makespan, d.Messages(), *traceOut)
 	}
 }
 

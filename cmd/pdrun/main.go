@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"procdecomp/internal/analysis"
 	"procdecomp/internal/core"
 	"procdecomp/internal/exec"
 	"procdecomp/internal/faults"
@@ -143,7 +145,7 @@ func main() {
 			*faultRate, *faultSeed, out.Stats.Retries, out.Stats.Duplicates, out.Stats.Lost)
 	}
 	if tr != nil {
-		if err := writeTrace(*traceOut, tr); err != nil {
+		if err := writeTrace(*traceOut, cfg, tr); err != nil {
 			fatal(err)
 		}
 		links := 0
@@ -154,23 +156,10 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("  trace: %d events, %d messages over %d links -> %s (open in Perfetto)\n",
+		fmt.Printf("  trace: %d events, %d messages over %d links -> %s (Perfetto timeline; analyze with pdtrace)\n",
 			tr.Len(), tr.Messages(), links, *traceOut)
 	}
-	for name, m := range out.Arrays {
-		defined := 0
-		for i := int64(1); i <= m.Rows(); i++ {
-			for j := int64(1); j <= m.Cols(); j++ {
-				if m.Defined(i, j) {
-					defined++
-				}
-			}
-		}
-		fmt.Printf("  array %s: %dx%d, %d defined elements\n", name, m.Rows(), m.Cols(), defined)
-	}
-	for name, v := range out.Scalars {
-		fmt.Printf("  scalar %s = %g\n", name, v)
-	}
+	printOutputs(os.Stdout, out)
 
 	if *check {
 		seq, err := exec.RunSequential(info, name, seqArgs)
@@ -257,13 +246,44 @@ func readAll(r io.Reader) (string, error) {
 	}
 }
 
-// writeTrace writes the run's event log in Chrome trace-event JSON.
-func writeTrace(path string, tr *trace.Log) error {
+// printOutputs reports the run's output arrays and scalars in sorted name
+// order, so identical runs print identically (map iteration order is random).
+func printOutputs(w io.Writer, out *exec.SPMDOutcome) {
+	names := make([]string, 0, len(out.Arrays))
+	for name := range out.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := out.Arrays[name]
+		defined := 0
+		for i := int64(1); i <= m.Rows(); i++ {
+			for j := int64(1); j <= m.Cols(); j++ {
+				if m.Defined(i, j) {
+					defined++
+				}
+			}
+		}
+		fmt.Fprintf(w, "  array %s: %dx%d, %d defined elements\n", name, m.Rows(), m.Cols(), defined)
+	}
+	names = names[:0]
+	for name := range out.Scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  scalar %s = %g\n", name, out.Scalars[name])
+	}
+}
+
+// writeTrace writes the run as a Chrome trace-event file with the analyzer's
+// dump embedded (pdtrace reads it back; Perfetto ignores the extra key).
+func writeTrace(path string, cfg machine.Config, tr *trace.Log) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteChromeTrace(f); err != nil {
+	if err := analysis.NewDump(cfg, tr).WriteTrace(f); err != nil {
 		f.Close()
 		return err
 	}

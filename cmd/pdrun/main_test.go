@@ -5,7 +5,43 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"procdecomp/internal/exec"
+	"procdecomp/internal/istruct"
 )
+
+// Output listing must be sorted by name — map iteration order must never
+// leak into what the user sees (golden check for the determinism audit).
+func TestPrintOutputsSorted(t *testing.T) {
+	mk := func(name string) *istruct.Matrix {
+		m, err := istruct.NewMatrix(name, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(1, 1, 3.5); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	out := &exec.SPMDOutcome{
+		Arrays:  map[string]*istruct.Matrix{"Zeta": mk("Zeta"), "Alpha": mk("Alpha"), "Mid": mk("Mid")},
+		Scalars: map[string]exec.Value{"z": 1, "a": 2.5, "m": -3},
+	}
+	want := `  array Alpha: 2x2, 1 defined elements
+  array Mid: 2x2, 1 defined elements
+  array Zeta: 2x2, 1 defined elements
+  scalar a = 2.5
+  scalar m = -3
+  scalar z = 1
+`
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		printOutputs(&b, out)
+		if b.String() != want {
+			t.Fatalf("iteration %d:\ngot:\n%s\nwant:\n%s", i, b.String(), want)
+		}
+	}
+}
 
 // errReader yields some bytes and then fails with a non-EOF error, like a
 // pipe whose writer died.

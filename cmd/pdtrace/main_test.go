@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"procdecomp/internal/analysis"
+	"procdecomp/internal/bench"
+	"procdecomp/internal/faults"
+	"procdecomp/internal/machine"
+)
+
+// The analyzer's output must be deterministic down to the byte: two
+// identical runs, dumped, analyzed, and marshaled, produce identical JSON.
+// This is the audit for every map-backed aggregate in the pipeline — a
+// single unsorted map range anywhere in dump, hotspots, or report ordering
+// shows up here as a flaky diff.
+func TestReportJSONByteIdentical(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		cfg := machine.DefaultConfig(4)
+		cfg.Faults = nil
+		_, d, err := bench.DumpGS(cfg, bench.OptimizedIII, 24, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip through the serialized form, exactly as the CLI does.
+		var buf bytes.Buffer
+		if err := d.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := analysis.ReadDump(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := analysis.Analyze(got, analysis.Options{IncludePath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different JSON reports")
+	}
+	// The trace files themselves must also match byte for byte — including
+	// a seeded chaos run, whose wire stream is appended by concurrent sender
+	// goroutines in scheduler order and must be canonicalized by the dump.
+	dump := func(chaos bool) []byte {
+		t.Helper()
+		cfg := machine.DefaultConfig(4)
+		if chaos {
+			cfg.Faults = faults.Chaos(5, 0.05)
+		}
+		_, d, err := bench.DumpGS(cfg, bench.OptimizedIII, 24, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, chaos := range []bool{false, true} {
+		if !bytes.Equal(dump(chaos), dump(chaos)) {
+			t.Fatalf("identical runs (chaos=%v) produced different trace files", chaos)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	sc, err := parseScenario("SendStartup=0, Latency=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SendStartup == nil || *sc.SendStartup != 0 {
+		t.Errorf("SendStartup = %v", sc.SendStartup)
+	}
+	if sc.Latency == nil || *sc.Latency != 25 {
+		t.Errorf("Latency = %v", sc.Latency)
+	}
+	if sc.RecvStartup != nil || sc.PerValue != nil {
+		t.Error("unset costs must stay nil")
+	}
+	for _, bad := range []string{"SendStartup", "Nope=1", "SendStartup=-3", "SendStartup=x"} {
+		if _, err := parseScenario(bad); err == nil {
+			t.Errorf("parseScenario(%q) accepted", bad)
+		}
+	}
+}

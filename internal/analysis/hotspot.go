@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"sort"
+
+	"procdecomp/internal/trace"
+)
+
+// Hotspot rankings: which links and tags carry the traffic, and — the part
+// volume alone cannot tell — which of them the critical path actually ran
+// through. A link can move thousands of messages off the critical path and
+// cost nothing; a single-message link the makespan waits on is a hotspot.
+
+// LinkHotspot aggregates one (src, dst) link.
+type LinkHotspot struct {
+	Src, Dst int
+	// Messages/Values are the link's total traffic (from the message matrix).
+	Messages int64
+	Values   int64
+	// CritCycles is wire + fault-delay cycles the critical path spent waiting
+	// on this link; CritMsgs counts the waits.
+	CritCycles uint64
+	CritMsgs   int
+}
+
+// TagHotspot aggregates one message tag across all links.
+type TagHotspot struct {
+	Tag int64
+	// Messages/Values are the tag's total traffic (from the tag histogram).
+	Messages int64
+	Values   int64
+	// CritCycles is critical-path cycles on message segments carrying this
+	// tag (send and recv overhead plus wire waits); CritMsgs counts them.
+	CritCycles uint64
+	CritMsgs   int
+}
+
+// Hotspots ranks links and tags. Links are ordered by critical-path wait
+// cycles, then total messages, then (src, dst); tags by critical-path cycles,
+// then total messages, then tag — fully deterministic.
+func (d *Dump) Hotspots(cp *CriticalPath) ([]LinkHotspot, []TagHotspot) {
+	links := map[[2]int]*LinkHotspot{}
+	tags := map[int64]*TagHotspot{}
+	for p := range d.Events {
+		for _, e := range d.Events[p] {
+			if e.Kind != trace.KindSend {
+				continue
+			}
+			lk := [2]int{p, e.Peer}
+			l := links[lk]
+			if l == nil {
+				l = &LinkHotspot{Src: p, Dst: e.Peer}
+				links[lk] = l
+			}
+			l.Messages++
+			l.Values += int64(e.Values)
+			tg := tags[e.Tag]
+			if tg == nil {
+				tg = &TagHotspot{Tag: e.Tag}
+				tags[e.Tag] = tg
+			}
+			tg.Messages++
+			tg.Values += int64(e.Values)
+		}
+	}
+	for _, s := range cp.Segments {
+		switch s.Kind {
+		case "wait":
+			// The wait sits on the receiver (s.Proc); the link is peer→proc.
+			if l := links[[2]int{s.Peer, s.Proc}]; l != nil {
+				l.CritCycles += s.Dur()
+				l.CritMsgs++
+			}
+			if tg := tags[s.Tag]; tg != nil {
+				tg.CritCycles += s.Dur()
+				tg.CritMsgs++
+			}
+		case "send", "recv":
+			if tg := tags[s.Tag]; tg != nil {
+				tg.CritCycles += s.Dur()
+				tg.CritMsgs++
+			}
+		}
+	}
+
+	ls := make([]LinkHotspot, 0, len(links))
+	for _, l := range links {
+		ls = append(ls, *l)
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].CritCycles != ls[j].CritCycles {
+			return ls[i].CritCycles > ls[j].CritCycles
+		}
+		if ls[i].Messages != ls[j].Messages {
+			return ls[i].Messages > ls[j].Messages
+		}
+		if ls[i].Src != ls[j].Src {
+			return ls[i].Src < ls[j].Src
+		}
+		return ls[i].Dst < ls[j].Dst
+	})
+	ts := make([]TagHotspot, 0, len(tags))
+	for _, tg := range tags {
+		ts = append(ts, *tg)
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].CritCycles != ts[j].CritCycles {
+			return ts[i].CritCycles > ts[j].CritCycles
+		}
+		if ts[i].Messages != ts[j].Messages {
+			return ts[i].Messages > ts[j].Messages
+		}
+		return ts[i].Tag < ts[j].Tag
+	})
+	return ls, ts
+}

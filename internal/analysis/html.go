@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// WriteHTML renders the report as a single self-contained HTML file — inline
+// CSS, no scripts, no external fetches — so it can be attached to a CI run or
+// mailed around. Tables only, deliberately: the numbers are exact and small,
+// and a table keeps them greppable.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return htmlTmpl.Execute(w, htmlData{R: r})
+}
+
+type htmlData struct {
+	R *Report
+}
+
+// Pct formats v as a percentage of the makespan.
+func (d htmlData) Pct(v uint64) string {
+	if d.R.Makespan == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(d.R.Makespan))
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pdtrace report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.75rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f0f0f0; }
+tr.total td { font-weight: bold; border-top: 2px solid #888; }
+p.note { color: #555; font-size: 0.9em; }
+</style>
+</head>
+<body>
+<h1>pdtrace report</h1>
+<p>{{.R.Procs}} procs{{if .R.Multiplexed}}, multiplexed{{end}}{{if .R.Faulty}}, fault-injected{{end}} &mdash;
+makespan <b>{{.R.Makespan}}</b> cycles, {{.R.Messages}} messages ({{.R.Values}} values).
+Critical path: {{.R.Segments}} segments ending on proc {{.R.EndProc}}; length equals the makespan (verified).</p>
+
+<h2>Makespan attribution</h2>
+<table>
+<tr><th>cause</th><th>cycles</th><th>share</th></tr>
+<tr><td>compute</td><td>{{.R.Attribution.Compute}}</td><td>{{.Pct .R.Attribution.Compute}}</td></tr>
+<tr><td>send startup</td><td>{{.R.Attribution.SendStartup}}</td><td>{{.Pct .R.Attribution.SendStartup}}</td></tr>
+<tr><td>recv startup</td><td>{{.R.Attribution.RecvStartup}}</td><td>{{.Pct .R.Attribution.RecvStartup}}</td></tr>
+<tr><td>per-value copy</td><td>{{.R.Attribution.PerValue}}</td><td>{{.Pct .R.Attribution.PerValue}}</td></tr>
+<tr><td>wire latency</td><td>{{.R.Attribution.Wire}}</td><td>{{.Pct .R.Attribution.Wire}}</td></tr>
+<tr><td>fault delay</td><td>{{.R.Attribution.Fault}}</td><td>{{.Pct .R.Attribution.Fault}}</td></tr>
+<tr><td>blocked (cpu/backpressure)</td><td>{{.R.Attribution.Blocked}}</td><td>{{.Pct .R.Attribution.Blocked}}</td></tr>
+<tr class="total"><td>total</td><td>{{.R.Attribution.Total}}</td><td>{{.Pct .R.Attribution.Total}}</td></tr>
+</table>
+
+{{if .R.Links}}
+<h2>Hotspot links</h2>
+<p class="note">Ranked by cycles the critical path spent waiting on the link; total traffic for context.</p>
+<table>
+<tr><th>link</th><th>messages</th><th>values</th><th>crit cycles</th><th>crit msgs</th></tr>
+{{range .R.Links}}<tr><td>{{.Src}} &rarr; {{.Dst}}</td><td>{{.Messages}}</td><td>{{.Values}}</td><td>{{.CritCycles}}</td><td>{{.CritMsgs}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .R.Tags}}
+<h2>Hotspot tags</h2>
+<table>
+<tr><th>tag</th><th>messages</th><th>values</th><th>crit cycles</th><th>crit msgs</th></tr>
+{{range .R.Tags}}<tr><td>{{.Tag}}</td><td>{{.Messages}}</td><td>{{.Values}}</td><td>{{.CritCycles}}</td><td>{{.CritMsgs}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .R.WhatIf}}
+<h2>What-if cost modeling</h2>
+<p class="note">The recorded communication DAG replayed under altered cost parameters; the program's
+message structure is held fixed, so each prediction bounds what that optimization alone could buy.</p>
+<table>
+<tr><th>scenario</th><th>predicted makespan</th><th>speedup</th></tr>
+{{range .R.WhatIf}}<tr><td>{{.Name}}</td><td>{{.Predicted}}</td><td>{{printf "%.2f" .Speedup}}&times;</td></tr>
+{{end}}</table>
+{{end}}
+
+<h2>Cost calibration</h2>
+<table>
+<tr><th>parameter</th><th>cycles</th></tr>
+<tr><td>OpCost</td><td>{{.R.Costs.OpCost}}</td></tr>
+<tr><td>MemCost</td><td>{{.R.Costs.MemCost}}</td></tr>
+<tr><td>LoopCost</td><td>{{.R.Costs.LoopCost}}</td></tr>
+<tr><td>SendStartup</td><td>{{.R.Costs.SendStartup}}</td></tr>
+<tr><td>RecvStartup</td><td>{{.R.Costs.RecvStartup}}</td></tr>
+<tr><td>PerValue</td><td>{{.R.Costs.PerValue}}</td></tr>
+<tr><td>Latency</td><td>{{.R.Costs.Latency}}</td></tr>
+</table>
+</body>
+</html>
+`))

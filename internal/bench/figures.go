@@ -292,6 +292,14 @@ func UtilizationTable(n int64, procs int, blk int64) (*Series, error) {
 func TraceGS(v Variant, procs int, n, blk int64, placement []int) (*machine.Stats, *trace.Log, error) {
 	cfg := machine.DefaultConfig(procs)
 	cfg.Placement = placement
+	return TraceGSWith(cfg, v, n, blk)
+}
+
+// TraceGSWith is TraceGS on an explicit machine calibration — the hook for
+// tracing fault-injected or re-calibrated runs (cfg.Tracer is installed here;
+// any existing value is replaced).
+func TraceGSWith(cfg machine.Config, v Variant, n, blk int64) (*machine.Stats, *trace.Log, error) {
+	procs := cfg.Procs
 	tr := trace.New()
 	cfg.Tracer = tr
 	if v == Handwritten {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"testing"
 
+	"procdecomp/internal/faults"
+	"procdecomp/internal/machine"
 	"procdecomp/internal/trace"
 )
 
@@ -70,6 +72,59 @@ func TestTraceReconcilesFig6Placement(t *testing.T) {
 	}
 	if blocked == 0 {
 		t.Error("co-resident processes never contended for a CPU; placement path untested")
+	}
+}
+
+// The hardest tracing path: multiplexed placement and an unreliable network
+// at once (mux scheduling, reliable-transport retries, blocked-for-CPU spans
+// all active). The trace must still reconcile exactly — Sums against the
+// Breakdown, Totals against the per-process sums, and the pattern analyses
+// (MessageMatrix, TagHistogram) against the machine's message counters.
+func TestTraceReconcilesPlacementChaos(t *testing.T) {
+	cfg := machine.DefaultConfig(8)
+	cfg.Placement = []int{0, 1, 2, 3, 0, 1, 2, 3}
+	cfg.Faults = faults.Chaos(7, 0.05)
+	st, tr, err := TraceGSWith(cfg, OptimizedIII, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries == 0 {
+		t.Error("chaos schedule caused no retries; fault path untested")
+	}
+	var tot trace.Partition
+	for i, b := range st.Breakdown {
+		s := tr.Sums(i)
+		if s.Compute != b.Compute || s.Comm != b.Comm || s.Idle+s.Blocked != b.Idle {
+			t.Errorf("proc %d: traced %+v does not reconcile with breakdown %+v", i, s, b)
+		}
+		if s.Total() != st.ProcTimes[i] {
+			t.Errorf("proc %d: traced total %d != clock %d", i, s.Total(), st.ProcTimes[i])
+		}
+		tot.Compute += s.Compute
+		tot.Comm += s.Comm
+		tot.Idle += s.Idle
+		tot.Blocked += s.Blocked
+	}
+	if tr.Totals() != tot {
+		t.Errorf("Totals %+v != summed per-process partitions %+v", tr.Totals(), tot)
+	}
+	var matrixMsgs int64
+	for _, row := range tr.MessageMatrix() {
+		for _, c := range row {
+			matrixMsgs += c
+		}
+	}
+	if matrixMsgs != st.Messages {
+		t.Errorf("message matrix sums to %d, machine counted %d", matrixMsgs, st.Messages)
+	}
+	var tagMsgs, tagVals int64
+	for _, ts := range tr.TagHistogram() {
+		tagMsgs += ts.Messages
+		tagVals += ts.Values
+	}
+	if tagMsgs != st.Messages || tagVals != st.Values {
+		t.Errorf("tag histogram sums to %d msgs / %d values, machine counted %d / %d",
+			tagMsgs, tagVals, st.Messages, st.Values)
 	}
 }
 

@@ -130,6 +130,10 @@ type Value = float64
 type message struct {
 	vals   []Value
 	arrive Cost
+	// seq is the sender's 1-based message counter — the stable edge ID the
+	// tracer stamps on the send span and on the matching idle/recv spans,
+	// so an analyzer can link both ends of every message.
+	seq uint64
 }
 
 // key identifies a FIFO message queue within one destination's mailbox.
@@ -414,6 +418,9 @@ type Proc struct {
 	compute Cost
 	comm    Cost
 	idle    Cost
+	// msgSeq counts this process's sends, 1-based; stamped on messages and
+	// trace events as the stable (sender, seq) message edge ID.
+	msgSeq uint64
 }
 
 // ID returns the processor number, 0..Procs-1 — the paper's mynode().
@@ -473,15 +480,16 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 		return
 	}
 	cfg := &p.m.cfg
+	p.msgSeq++
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
 	start := p.clock
 	p.clock += over
 	p.comm += over
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: start, End: p.clock,
-			Peer: dst, Tag: tag, Values: len(vals)})
+			Peer: dst, Tag: tag, Values: len(vals), Seq: p.msgSeq})
 	}
-	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency}
+	msg := message{vals: append([]Value(nil), vals...), arrive: p.clock + cfg.Latency, seq: p.msgSeq}
 
 	m.mu.Lock()
 	if m.failed != nil {
@@ -509,13 +517,14 @@ func (p *Proc) faultySend(dst int, tag int64, vals []Value) {
 	}
 	m.capWaitLocked(p, dst) // unlocks and panics if the run fails meanwhile
 
+	p.msgSeq++
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
 	start := p.clock
 	p.clock += over
 	p.comm += over
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: start, End: p.clock,
-			Peer: dst, Tag: tag, Values: len(vals)})
+			Peer: dst, Tag: tag, Values: len(vals), Seq: p.msgSeq})
 	}
 	arrive, ok := p.clock+cfg.Latency, true
 	if cfg.Faults != nil {
@@ -525,7 +534,7 @@ func (p *Proc) faultySend(dst int, tag int64, vals []Value) {
 	m.vals += int64(len(vals))
 	if ok {
 		k := key{src: p.id, tag: tag}
-		m.boxes[dst][k] = append(m.boxes[dst][k], message{vals: append([]Value(nil), vals...), arrive: arrive})
+		m.boxes[dst][k] = append(m.boxes[dst][k], message{vals: append([]Value(nil), vals...), arrive: arrive, seq: p.msgSeq})
 		m.links[p.id][dst].sent++
 	}
 	// Broadcast even on a lost message: a receiver blocked on this queue
@@ -606,7 +615,7 @@ func (p *Proc) finishRecv(msg message, src int, tag int64) []Value {
 	if msg.arrive > p.clock {
 		if t := cfg.Tracer; t != nil {
 			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindIdle, Start: p.clock, End: msg.arrive,
-				Peer: src, Tag: tag})
+				Peer: src, Tag: tag, Seq: msg.seq, Arrive: msg.arrive})
 		}
 		p.idle += msg.arrive - p.clock
 		p.clock = msg.arrive
@@ -617,7 +626,7 @@ func (p *Proc) finishRecv(msg message, src int, tag int64) []Value {
 	p.comm += over
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: start, End: p.clock,
-			Peer: src, Tag: tag, Values: len(msg.vals)})
+			Peer: src, Tag: tag, Values: len(msg.vals), Seq: msg.seq, Arrive: msg.arrive})
 	}
 	return msg.vals
 }

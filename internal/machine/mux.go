@@ -155,12 +155,13 @@ func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
 	} else {
 		m.sched.acquireLocked(p)
 	}
+	p.msgSeq++
 	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
 	m.sched.busyLocked(p, over)
 	p.comm += over
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: p.clock - over, End: p.clock,
-			Peer: dst, Tag: tag, Values: len(vals)})
+			Peer: dst, Tag: tag, Values: len(vals), Seq: p.msgSeq})
 	}
 	arrive, ok := p.clock+cfg.Latency, true
 	if cfg.Faults != nil {
@@ -174,7 +175,7 @@ func (p *Proc) muxSend(dst int, tag int64, vals []Value) {
 		m.cond.Broadcast()
 		return
 	}
-	msg := message{vals: append([]Value(nil), vals...), arrive: arrive}
+	msg := message{vals: append([]Value(nil), vals...), arrive: arrive, seq: p.msgSeq}
 	k := key{src: p.id, tag: tag}
 	m.boxes[dst][k] = append(m.boxes[dst][k], msg)
 	if m.faultive() {
@@ -288,7 +289,7 @@ func (p *Proc) muxRecv(src int, tag int64) []Value {
 	if msg.arrive > p.clock {
 		if t := cfg.Tracer; t != nil {
 			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindIdle, Start: p.clock, End: msg.arrive,
-				Peer: src, Tag: tag})
+				Peer: src, Tag: tag, Seq: msg.seq, Arrive: msg.arrive})
 		}
 		p.idle += msg.arrive - p.clock
 		p.clock = msg.arrive // waiting: no CPU charged
@@ -298,7 +299,7 @@ func (p *Proc) muxRecv(src int, tag int64) []Value {
 	p.comm += over
 	if t := cfg.Tracer; t != nil {
 		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: p.clock - over, End: p.clock,
-			Peer: src, Tag: tag, Values: len(msg.vals)})
+			Peer: src, Tag: tag, Values: len(msg.vals), Seq: msg.seq, Arrive: msg.arrive})
 	}
 	if cfg.MailboxCap > 0 {
 		// Free the channel slot at the receiver's post-overhead clock, and —

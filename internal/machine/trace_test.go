@@ -37,11 +37,11 @@ func TestTraceDirectPing(t *testing.T) {
 
 	want0 := []trace.Event{
 		{Proc: 0, Kind: trace.KindCompute, Start: 0, End: 50, Peer: -1},
-		{Proc: 0, Kind: trace.KindSend, Start: 50, End: 152, Peer: 1, Tag: 7, Values: 1},
+		{Proc: 0, Kind: trace.KindSend, Start: 50, End: 152, Peer: 1, Tag: 7, Values: 1, Seq: 1},
 	}
 	want1 := []trace.Event{
-		{Proc: 1, Kind: trace.KindIdle, Start: 0, End: 157, Peer: 0, Tag: 7},
-		{Proc: 1, Kind: trace.KindRecv, Start: 157, End: 169, Peer: 0, Tag: 7, Values: 1},
+		{Proc: 1, Kind: trace.KindIdle, Start: 0, End: 157, Peer: 0, Tag: 7, Seq: 1, Arrive: 157},
+		{Proc: 1, Kind: trace.KindRecv, Start: 157, End: 169, Peer: 0, Tag: 7, Values: 1, Seq: 1, Arrive: 157},
 	}
 	for p, want := range [][]trace.Event{want0, want1} {
 		got := tr.Events(p)

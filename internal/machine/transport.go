@@ -85,7 +85,7 @@ func (m *Machine) transmitLocked(p *Proc, dst int, tag int64, nvals int, depart 
 	wire := func(kind trace.WireKind, attempt int, at Cost) {
 		if t != nil {
 			t.EmitWire(trace.WireEvent{Kind: kind, Src: p.id, Dst: dst, Tag: tag,
-				Seq: seq, Attempt: attempt, Time: at, Values: nvals})
+				Seq: seq, MsgSeq: p.msgSeq, Attempt: attempt, Time: at, Values: nvals})
 		}
 	}
 	if ls.dead {

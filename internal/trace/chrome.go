@@ -29,6 +29,11 @@ const networkPid = 1 << 20
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// PDTrace carries an arbitrary machine-readable payload alongside the
+	// viewer events (the analysis layer embeds its replayable dump here).
+	// Chrome and Perfetto ignore unknown top-level keys, so one file serves
+	// both the timeline viewer and pdtrace.
+	PDTrace any `json:"pdtrace,omitempty"`
 }
 
 // WriteChromeTrace writes the log in Chrome trace-event JSON. Each process is
@@ -37,6 +42,12 @@ type chromeTrace struct {
 // interleaving on the node's CPU. Open the file at chrome://tracing or
 // https://ui.perfetto.dev.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
+	return l.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with an extra payload embedded
+// under the file's top-level "pdtrace" key, which trace viewers ignore.
+func (l *Log) WriteChromeTraceWith(w io.Writer, payload any) error {
 	var events []chromeEvent
 
 	// Name the tracks: one "process" per node (or a single "processors"
@@ -82,11 +93,11 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			}
 			switch e.Kind {
 			case KindSend:
-				ce.Args = map[string]any{"dst": e.Peer, "tag": e.Tag, "values": e.Values}
+				ce.Args = map[string]any{"dst": e.Peer, "tag": e.Tag, "values": e.Values, "msg": e.Seq}
 			case KindRecv:
-				ce.Args = map[string]any{"src": e.Peer, "tag": e.Tag, "values": e.Values}
+				ce.Args = map[string]any{"src": e.Peer, "tag": e.Tag, "values": e.Values, "msg": e.Seq}
 			case KindIdle:
-				ce.Args = map[string]any{"src": e.Peer, "tag": e.Tag}
+				ce.Args = map[string]any{"src": e.Peer, "tag": e.Tag, "msg": e.Seq}
 			}
 			events = append(events, ce)
 		}
@@ -115,11 +126,12 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 				Args: map[string]any{
 					"src": e.Src, "dst": e.Dst, "tag": e.Tag,
 					"seq": e.Seq, "attempt": e.Attempt, "values": e.Values,
+					"msg": e.MsgSeq,
 				},
 			})
 		}
 	}
 
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns", PDTrace: payload})
 }

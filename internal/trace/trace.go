@@ -73,6 +73,17 @@ type Event struct {
 	Tag int64
 	// Values is the number of values moved by a send or receive.
 	Values int
+	// Seq identifies the message a send/recv/idle event belongs to: the
+	// sender's 1-based message counter, in program order, so the pair
+	// (sender, Seq) is a stable edge ID linking the send span to the
+	// receiver's idle and recv spans and to the transport's wire events.
+	// 0 on non-message events.
+	Seq uint64
+	// Arrive is the message's release stamp at the receiver, set on recv and
+	// idle events: the virtual instant the transport made the message
+	// available. For an idle event Arrive == End; for a recv event it can
+	// precede Start (the message was waiting before the receiver asked).
+	Arrive uint64
 }
 
 // Dur is the event's span length in cycles.
@@ -87,6 +98,19 @@ type Log struct {
 
 // New returns an empty log, ready to pass as machine.Config.Tracer.
 func New() *Log { return &Log{} }
+
+// Rebuild reconstructs a completed log from its serialized parts — the
+// inverse of reading Events/WireEvents per process, used by the analysis
+// layer to revive a trace dumped to disk. The slices are adopted, not
+// copied; the caller must not modify them afterwards.
+func Rebuild(placement []int, events [][]Event, wire []WireEvent) *Log {
+	l := &Log{events: events}
+	if placement != nil {
+		l.node = append([]int(nil), placement...)
+	}
+	l.wire = wire
+	return l
+}
 
 // Begin resets the log for a run of procs processes. placement is the
 // machine's Config.Placement (nil for the direct one-process-per-processor

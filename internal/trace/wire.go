@@ -57,6 +57,10 @@ type WireEvent struct {
 	Tag      int64
 	// Seq is the message's per-link transport sequence number.
 	Seq uint64
+	// MsgSeq is the sender's application-level message counter — the same
+	// number the send/recv/idle process spans carry in Event.Seq — linking
+	// every transport attempt back to the process span that initiated it.
+	MsgSeq uint64
 	// Attempt is the 1-based transmission attempt the event belongs to.
 	Attempt int
 	// Time is the virtual instant: departure for xmit/drop/lost, arrival
