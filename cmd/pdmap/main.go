@@ -1,0 +1,227 @@
+// Command pdmap searches for a program's domain decomposition instead of
+// taking the annotation on faith: it enumerates mapping families, spans, and
+// transformation pipelines, ranks them with a tiered cost model (static walk,
+// communication-DAG replay), confirms the best predictions on the simulated
+// machine, and reports predicted vs. measured makespan per candidate, the
+// winner's makespan attribution, and the regret of the hand-chosen mapping.
+//
+// Usage:
+//
+//	pdmap -file prog.idn -entry gs_iteration -procs 8
+//	pdmap -gs -procs 4 -D N=16 -json
+//
+// The report is deterministic: identical searches emit identical bytes. A
+// modeled candidate whose measured makespan differs from its prediction is an
+// error (exit 1), never a report — so a pdmap run doubles as a cost-model
+// self-check in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"procdecomp/internal/autotune"
+	"procdecomp/internal/bench"
+	"procdecomp/internal/dist"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/machine"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdmap", flag.ContinueOnError)
+	var (
+		file     = fs.String("file", "", "Idn source file (default: stdin)")
+		gs       = fs.Bool("gs", false, "search the built-in Gauss-Seidel program (paper Fig. 1) instead of -file")
+		entry    = fs.String("entry", "", "entry procedure (default with -gs: gs_iteration)")
+		distName = fs.String("dist", "", "dist declaration to retarget (default: the program's only one)")
+		procs    = fs.Int("procs", 4, "number of processors")
+		kinds    = fs.String("kinds", "", "comma-separated mapping families to try (default: all families)")
+		spans    = fs.String("spans", "", "comma-separated spans for 1-D families (default: procs and procs/2)")
+		modes    = fs.String("modes", "", "comma-separated pipelines: rtr,ctr,opt1,opt2,opt3 (default: all)")
+		blks     = fs.String("blks", "", "comma-separated opt3 strip sizes (default: 4,8)")
+		keep     = fs.Int("keep", 0, "candidates surviving the static prune (default 12)")
+		topk     = fs.Int("topk", 0, "predicted candidates confirmed by real runs (default 6)")
+		workers  = fs.Int("workers", 0, "measurement worker pool size (default 4)")
+		baseMode = fs.String("baseline", "ctr", "compilation mode of the anchoring baseline run")
+		baseBlk  = fs.Int64("baseline-blk", 0, "strip size of the baseline when its mode is opt3")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of text")
+		htmlOut  = fs.String("html", "", "also write a self-contained HTML report to this file")
+		defines  defineFlag
+	)
+	fs.Var(&defines, "D", "override a constant, e.g. -D N=64 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src, name string
+	switch {
+	case *gs && *file != "":
+		return fmt.Errorf("-gs and -file are mutually exclusive")
+	case *gs:
+		src, name = bench.GSSource, "gauss-seidel"
+		if *entry == "" {
+			*entry = "gs_iteration"
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		src, name = string(data), *file
+	default:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		src, name = string(data), "stdin"
+	}
+	if *entry == "" {
+		return fmt.Errorf("-entry is required")
+	}
+
+	dn, err := pickDist(src, *distName)
+	if err != nil {
+		return err
+	}
+
+	space, err := parseSpace(*kinds, *spans, *modes, *blks)
+	if err != nil {
+		return err
+	}
+
+	w := &autotune.Workload{Name: name, Source: src, Entry: *entry, Dist: dn, Defines: defines.vals}
+	rep, err := autotune.Search(w, machine.DefaultConfig(*procs), autotune.Options{
+		Space: space, Keep: *keep, TopK: *topk, Workers: *workers,
+		BaselineMode: *baseMode, BaselineBlk: *baseBlk,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteHTML(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return rep.WriteJSON(stdout)
+	}
+	_, err = io.WriteString(stdout, rep.Format())
+	return err
+}
+
+// pickDist resolves the dist declaration the search varies: the named one, or
+// the program's only one.
+func pickDist(src, name string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var found []string
+	for _, d := range prog.Decls {
+		if dd, ok := d.(*lang.DistDecl); ok {
+			found = append(found, dd.Name)
+			if dd.Name == name {
+				return name, nil
+			}
+		}
+	}
+	if name != "" {
+		return "", fmt.Errorf("no dist declaration %s (program has: %s)", name, strings.Join(found, ", "))
+	}
+	switch len(found) {
+	case 0:
+		return "", fmt.Errorf("the program has no dist declaration to retarget")
+	case 1:
+		return found[0], nil
+	default:
+		return "", fmt.Errorf("the program has %d dist declarations (%s); pick one with -dist",
+			len(found), strings.Join(found, ", "))
+	}
+}
+
+// parseSpace builds the candidate space from the comma-separated flags,
+// leaving zero fields for the library defaults.
+func parseSpace(kinds, spans, modes, blks string) (autotune.Space, error) {
+	var sp autotune.Space
+	for _, k := range splitList(kinds) {
+		kind, err := dist.Parse(k)
+		if err != nil {
+			return sp, err
+		}
+		sp.Kinds = append(sp.Kinds, kind)
+	}
+	var err error
+	if sp.Spans, err = parseInts(spans, "-spans"); err != nil {
+		return sp, err
+	}
+	sp.Modes = splitList(modes)
+	if sp.Blks, err = parseInts(blks, "-blks"); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s, flagName string) ([]int64, error) {
+	var out []int64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", flagName, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// defineFlag parses repeated -D NAME=VALUE flags.
+type defineFlag struct {
+	vals map[string]int64
+}
+
+func (d *defineFlag) String() string { return fmt.Sprint(d.vals) }
+
+func (d *defineFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	if d.vals == nil {
+		d.vals = map[string]int64{}
+	}
+	d.vals[name] = v
+	return nil
+}

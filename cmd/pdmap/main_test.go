@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The CLI's report must be deterministic down to the byte, in both text and
+// JSON form — the property CI relies on when it diffs artifacts.
+func TestSearchOutputByteIdentical(t *testing.T) {
+	render := func(args ...string) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	args := []string{"-gs", "-procs", "4", "-D", "N=12", "-topk", "3"}
+	a, b := render(args...), render(args...)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical searches produced different text reports")
+	}
+	if !strings.Contains(string(a), "winner:") {
+		t.Fatalf("report names no winner:\n%s", a)
+	}
+
+	j1, j2 := render(append(args, "-json")...), render(append(args, "-json")...)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("identical searches produced different JSON reports")
+	}
+	var rep struct {
+		Winner string
+		Hand   string
+		Regret uint64
+	}
+	if err := json.Unmarshal(j1, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if rep.Winner == "" || rep.Hand == "" {
+		t.Fatalf("JSON report missing winner or reference: %+v", rep)
+	}
+}
+
+// Flag validation: contradictory sources and unknown dists fail cleanly.
+func TestBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gs", "-file", "x.idn"}, &buf); err == nil {
+		t.Error("-gs with -file accepted")
+	}
+	if err := run([]string{"-gs", "-dist", "NoSuch", "-D", "N=8"}, &buf); err == nil {
+		t.Error("unknown -dist accepted")
+	}
+	if err := run([]string{"-gs", "-kinds", "bogus", "-D", "N=8"}, &buf); err == nil {
+		t.Error("unknown -kinds entry accepted")
+	}
+}

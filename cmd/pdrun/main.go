@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"procdecomp/internal/analysis"
+	"procdecomp/internal/autotune"
 	"procdecomp/internal/core"
 	"procdecomp/internal/exec"
 	"procdecomp/internal/faults"
@@ -43,8 +44,10 @@ func main() {
 		faultRate = flag.Float64("faults", 0, "inject a chaos fault schedule: drop messages at this rate, with duplicates, ack loss, and jitter (0 = reliable network)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault schedule (same seed, same faults)")
 		defines   defineFlag
+		remaps    remapFlag
 	)
 	flag.Var(&defines, "D", "override a constant, e.g. -D N=64 (repeatable)")
+	flag.Var(&remaps, "dist", "retarget a dist declaration, e.g. -dist Column=block2d(2x4) (repeatable; pdmap searches these)")
 	flag.Parse()
 
 	src, err := readSource(*file)
@@ -54,6 +57,15 @@ func main() {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		fatal(err)
+	}
+	for _, rm := range remaps.maps {
+		m := rm.mapping
+		if m.Span == 0 {
+			m.Span = int64(*procs) // bare family name: span the whole machine
+		}
+		if err := autotune.Retarget(prog, rm.name, m); err != nil {
+			fatal(err)
+		}
 	}
 	info, errs := sem.Check(prog, sem.Config{Procs: int64(*procs), Defines: defines.vals})
 	if len(errs) > 0 {
@@ -103,23 +115,16 @@ func main() {
 		}
 		progs = []*spmd.Program{generic}
 	} else {
+		passes, ok := xform.StandardPipeline(*mode, *blk)
+		if !ok {
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
 		progs, err = comp.CompileCTR(name, true)
 		if err != nil {
 			fatal(err)
 		}
-		switch *mode {
-		case "ctr":
-		case "opt1":
-			xform.Vectorize(progs)
-		case "opt2":
-			xform.Vectorize(progs)
-			xform.Jam(progs)
-		case "opt3":
-			xform.Vectorize(progs)
-			xform.Jam(progs)
-			xform.StripMine(progs, *blk)
-		default:
-			fatal(fmt.Errorf("unknown mode %q", *mode))
+		if _, err := xform.Apply(progs, passes); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -293,6 +298,37 @@ func writeTrace(path string, cfg machine.Config, tr *trace.Log) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pdrun:", err)
 	os.Exit(1)
+}
+
+// remapFlag parses repeated -dist Name=mapping flags.
+type remapFlag struct {
+	maps []remap
+}
+
+type remap struct {
+	name    string
+	mapping autotune.Mapping
+}
+
+func (r *remapFlag) String() string {
+	parts := make([]string, len(r.maps))
+	for i, rm := range r.maps {
+		parts[i] = rm.name + "=" + rm.mapping.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *remapFlag) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=MAPPING, got %q", s)
+	}
+	m, err := autotune.ParseMapping(spec)
+	if err != nil {
+		return err
+	}
+	r.maps = append(r.maps, remap{name: strings.TrimSpace(name), mapping: m})
+	return nil
 }
 
 // defineFlag parses repeated -D NAME=VALUE flags.

@@ -1,0 +1,58 @@
+package autotune
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"procdecomp/internal/dist"
+)
+
+// ParseMapping parses a mapping spelled on a command line, the inverse of
+// Mapping.String:
+//
+//	all  single  block2d(2x4)  cyclic_cols(8)  block_rows
+//
+// A 1-D family without a span (no parentheses) gets Span 0; callers default
+// it to the machine size.
+func ParseMapping(s string) (Mapping, error) {
+	s = strings.TrimSpace(s)
+	name, arg := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Mapping{}, fmt.Errorf("autotune: mapping %q: missing )", s)
+		}
+		name, arg = s[:i], s[i+1:len(s)-1]
+	}
+	k, err := dist.Parse(name)
+	if err != nil {
+		return Mapping{}, err
+	}
+	switch k {
+	case dist.KindReplicated, dist.KindSingle:
+		if arg != "" {
+			return Mapping{}, fmt.Errorf("autotune: mapping %s takes no argument", k)
+		}
+		return Mapping{Kind: k}, nil
+	case dist.KindBlock2D:
+		pr, pc, ok := strings.Cut(arg, "x")
+		if !ok {
+			return Mapping{}, fmt.Errorf("autotune: mapping %q: want block2d(PRxPC)", s)
+		}
+		r, err1 := strconv.ParseInt(strings.TrimSpace(pr), 10, 64)
+		c, err2 := strconv.ParseInt(strings.TrimSpace(pc), 10, 64)
+		if err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return Mapping{}, fmt.Errorf("autotune: mapping %q: bad processor grid", s)
+		}
+		return Mapping{Kind: k, PR: r, PC: c}, nil
+	default:
+		if arg == "" {
+			return Mapping{Kind: k}, nil
+		}
+		span, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+		if err != nil || span < 1 {
+			return Mapping{}, fmt.Errorf("autotune: mapping %q: bad span", s)
+		}
+		return Mapping{Kind: k, Span: span}, nil
+	}
+}

@@ -1,0 +1,212 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rendering of search reports. All three forms — text, JSON, HTML — are
+// deterministic functions of the Report value: no timestamps, no map
+// iteration, so equal searches emit identical bytes.
+
+// Format renders the report as a text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pdmap: %s on %d processors", r.Workload, r.Procs)
+	if len(r.Defines) > 0 {
+		keys := make([]string, 0, len(r.Defines))
+		for k := range r.Defines {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, r.Defines[k])
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, "\nsearched %d candidate configurations\n", r.Enumerated)
+	fmt.Fprintf(&b, "baseline (%s): measured %d cycles, predicted %d, %d messages (%d values)\n",
+		baselineName(r.Baseline), r.Baseline.Measured, r.Baseline.Predicted,
+		r.Baseline.Messages, r.Baseline.Values)
+
+	fmt.Fprintf(&b, "\n%-32s %-10s %12s %12s %12s %10s %8s\n",
+		"candidate", "status", "static", "predicted", "measured", "messages", "values")
+	for _, res := range r.Results {
+		mark := " "
+		switch res.Candidate.Key() {
+		case r.Winner:
+			mark = "*"
+		case r.Hand:
+			mark = "h"
+		}
+		fmt.Fprintf(&b, "%s%-31s %-10s %12s %12s %12s %10s %8s\n",
+			mark, res.Candidate.Key(), string(res.Status),
+			orDash(res.Static), orDash(res.Predicted), orDash(res.Measured),
+			orDashI(res.Messages), orDashI(res.Values))
+		if res.Note != "" {
+			fmt.Fprintf(&b, "    %s\n", res.Note)
+		}
+	}
+
+	fmt.Fprintf(&b, "\nwinner: %s (* above), measured %d cycles\n", r.Winner, r.winnerMeasured())
+	fmt.Fprintf(&b, "hand-chosen reference: %s (h above), measured %d cycles\n", r.Hand, r.handMeasured())
+	fmt.Fprintf(&b, "regret of the hand choice: %d cycles\n", r.Regret)
+
+	b.WriteString("\nwinner makespan attribution\n")
+	total := r.Attr.Total()
+	row := func(name string, v uint64) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-16s %12d  %5.1f%%\n", name, v, pct)
+	}
+	row("compute", r.Attr.Compute)
+	row("send startup", r.Attr.SendStartup)
+	row("recv startup", r.Attr.RecvStartup)
+	row("per-value copy", r.Attr.PerValue)
+	row("wire latency", r.Attr.Wire)
+	return b.String()
+}
+
+func (r *Report) winnerMeasured() uint64 { return r.measuredOf(r.Winner) }
+func (r *Report) handMeasured() uint64   { return r.measuredOf(r.Hand) }
+
+func (r *Report) measuredOf(key string) uint64 {
+	for _, res := range r.Results {
+		if res.Candidate.Key() == key {
+			return res.Measured
+		}
+	}
+	return 0
+}
+
+func baselineName(b Baseline) string {
+	if b.Blk > 0 {
+		return fmt.Sprintf("%s, blk %d", b.Mode, b.Blk)
+	}
+	return b.Mode
+}
+
+func orDash(v uint64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func orDashI(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// MarshalJSON renders a candidate as its canonical key: the report's JSON
+// names configurations the same way its text does.
+func (c Candidate) MarshalJSON() ([]byte, error) { return json.Marshal(c.Key()) }
+
+// WriteJSON emits the report as indented JSON, newline-terminated.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteHTML emits a self-contained HTML report.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return reportTmpl.Execute(w, htmlReport{R: r})
+}
+
+type htmlReport struct {
+	R *Report
+}
+
+// Pct formats v as a percentage of the winner's attributed makespan.
+func (d htmlReport) Pct(v uint64) string {
+	total := d.R.Attr.Total()
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+}
+
+// Mark flags the winner and the hand-chosen reference rows.
+func (d htmlReport) Mark(key string) string {
+	switch key {
+	case d.R.Winner:
+		return "winner"
+	case d.R.Hand:
+		return "hand"
+	}
+	return ""
+}
+
+// Defs renders the workload defines deterministically.
+func (d htmlReport) Defs() string {
+	keys := make([]string, 0, len(d.R.Defines))
+	for k := range d.R.Defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, d.R.Defines[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+var reportTmpl = template.Must(template.New("pdmap").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pdmap report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.75rem; text-align: right; }
+th, td.name { text-align: left; }
+tr.winner { background: #e6f4e6; }
+tr.hand { background: #eef2fa; }
+</style>
+</head>
+<body>
+<h1>pdmap: decomposition search for {{.R.Workload}}</h1>
+<p>{{.R.Procs}} processors{{with .Defs}} ({{.}}){{end}};
+searched {{.R.Enumerated}} candidate configurations.
+Baseline measured {{.R.Baseline.Measured}} cycles.</p>
+
+<h2>Candidates</h2>
+<table>
+<tr><th>candidate</th><th>status</th><th>predicted</th><th>measured</th><th>messages</th><th>values</th></tr>
+{{range .R.Results}}<tr{{with $.Mark .Candidate.Key}} class="{{.}}"{{end}}>
+<td class="name">{{.Candidate.Key}}</td><td class="name">{{.Status}}</td>
+<td>{{if .Predicted}}{{.Predicted}}{{else}}&ndash;{{end}}</td>
+<td>{{if .Measured}}{{.Measured}}{{else}}&ndash;{{end}}</td>
+<td>{{if .Messages}}{{.Messages}}{{else}}&ndash;{{end}}</td>
+<td>{{if .Values}}{{.Values}}{{else}}&ndash;{{end}}</td>
+</tr>
+{{end}}</table>
+
+<h2>Outcome</h2>
+<p>Winner: <strong>{{.R.Winner}}</strong>. Hand-chosen reference: {{.R.Hand}}.
+Regret of the hand choice: {{.R.Regret}} cycles.</p>
+
+<h2>Winner makespan attribution</h2>
+<table>
+<tr><th>cause</th><th>cycles</th><th>share</th></tr>
+<tr><td class="name">compute</td><td>{{.R.Attr.Compute}}</td><td>{{.Pct .R.Attr.Compute}}</td></tr>
+<tr><td class="name">send startup</td><td>{{.R.Attr.SendStartup}}</td><td>{{.Pct .R.Attr.SendStartup}}</td></tr>
+<tr><td class="name">recv startup</td><td>{{.R.Attr.RecvStartup}}</td><td>{{.Pct .R.Attr.RecvStartup}}</td></tr>
+<tr><td class="name">per-value copy</td><td>{{.R.Attr.PerValue}}</td><td>{{.Pct .R.Attr.PerValue}}</td></tr>
+<tr><td class="name">wire latency</td><td>{{.R.Attr.Wire}}</td><td>{{.Pct .R.Attr.Wire}}</td></tr>
+</table>
+</body>
+</html>
+`))

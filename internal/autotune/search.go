@@ -1,0 +1,584 @@
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"procdecomp/internal/analysis"
+	"procdecomp/internal/dist"
+	"procdecomp/internal/exec"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/trace"
+)
+
+// Status records how far a candidate got through the evaluation tiers.
+type Status string
+
+const (
+	// StatusInfeasible: the candidate does not compile to a runnable program
+	// (semantic rejection, transformation rejection, or a modeled deadlock).
+	StatusInfeasible Status = "infeasible"
+	// StatusPruned: walked and scored statically; its busy-time lower bound
+	// already exceeds the best predicted makespan, so it provably cannot win
+	// and is never replayed.
+	StatusPruned Status = "pruned"
+	// StatusPredicted: makespan predicted by DAG replay, cut before running.
+	StatusPredicted Status = "predicted"
+	// StatusMeasured: executed on the simulated machine.
+	StatusMeasured Status = "measured"
+)
+
+// Result is one candidate's outcome.
+type Result struct {
+	Candidate Candidate
+	Status    Status
+	// Unmodeled marks a candidate whose control flow the static walk could
+	// not decide; it skipped the model tiers and was measured directly.
+	Unmodeled bool `json:",omitempty"`
+	// Note carries the infeasibility or unmodeled reason.
+	Note string `json:",omitempty"`
+	// Static is the tier-1 busy-time lower bound.
+	Static uint64 `json:",omitempty"`
+	// Predicted is the tier-2 DAG-replay makespan.
+	Predicted uint64 `json:",omitempty"`
+	// Measured is the simulated machine's makespan.
+	Measured uint64 `json:",omitempty"`
+	Messages int64  `json:",omitempty"`
+	Values   int64  `json:",omitempty"`
+}
+
+// Baseline is the traced run of the program as annotated, which anchors the
+// cost model before any candidate is trusted.
+type Baseline struct {
+	Mode      string
+	Blk       int64 `json:",omitempty"`
+	Measured  uint64
+	Predicted uint64 // the walker's prediction; search fails unless equal
+	Messages  int64
+	Values    int64
+}
+
+// Report is the search outcome: every candidate's result, the winner with its
+// makespan attribution, and the regret of the hand-chosen reference mapping.
+// Reports are deterministic — equal inputs produce identical bytes.
+type Report struct {
+	Workload   string
+	Procs      int
+	Defines    map[string]int64 `json:",omitempty"`
+	Enumerated int              // space size before forcing the reference in
+	Baseline   Baseline
+	Results    []Result
+	Winner     string // winning candidate's Key
+	Hand       string // reference candidate's Key
+	// Regret is the reference mapping's measured makespan minus the winner's:
+	// how many cycles the hand-chosen decomposition leaves on the table.
+	Regret uint64
+	// Attr partitions the winner's measured makespan by cause.
+	Attr analysis.Attribution
+}
+
+// Options tunes the search. The zero value is usable.
+type Options struct {
+	Space Space
+	// Keep is the minimum number of statically ranked candidates scored by
+	// DAG replay (default 12). Beyond it, candidates are still replayed
+	// until their static lower bound passes the best prediction — the prune
+	// is branch-and-bound, never a gamble.
+	Keep int
+	// TopK is how many predicted candidates are confirmed on the simulated
+	// machine (default 6).
+	TopK int
+	// Workers bounds the measurement pool (default 4). Results are written
+	// by index, so parallelism never changes the report.
+	Workers int
+	// Cache, if non-nil, memoizes measurements across searches by content
+	// key (workload, candidate, machine calibration).
+	Cache *Cache
+	// BaselineMode/BaselineBlk select the anchor compilation of the program
+	// as annotated (default ctr).
+	BaselineMode string
+	BaselineBlk  int64
+	// Hand overrides the reference candidate whose regret the report quotes.
+	// Default: the paper's hand choice — cyclic columns over the whole
+	// machine, fully optimized (opt3) with block size 8.
+	Hand *Candidate
+}
+
+// Measurement is one confirmed run.
+type Measurement struct {
+	Makespan uint64
+	Messages int64
+	Values   int64
+}
+
+// Cache memoizes measurements by content key. Safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	m    map[string]Measurement
+	hits int
+}
+
+// NewCache returns an empty measurement cache.
+func NewCache() *Cache { return &Cache{m: map[string]Measurement{}} }
+
+func (c *Cache) get(key string) (Measurement, bool) {
+	if c == nil {
+		return Measurement{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return m, ok
+}
+
+func (c *Cache) put(key string, m Measurement) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = m
+}
+
+// Len reports how many measurements are cached; Hits how many lookups were
+// served from the cache.
+func (c *Cache) Len() int  { c.mu.Lock(); defer c.mu.Unlock(); return len(c.m) }
+func (c *Cache) Hits() int { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
+
+// CacheKey is the content key of one measurement: the workload identity, the
+// candidate's generated-code key, and the machine calibration. Equal keys
+// mean the run is bit-identical, so the cached result substitutes exactly.
+func CacheKey(w *Workload, c Candidate, cfg machine.Config) string {
+	defs := make([]string, 0, len(w.Defines))
+	for k, v := range w.Defines {
+		defs = append(defs, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(defs)
+	return fmt.Sprintf("%s/%s/%s|%s|%s|p%d,op%d,mem%d,loop%d,ss%d,rs%d,pv%d,lat%d",
+		w.Name, w.Entry, w.Dist, strings.Join(defs, ","), c.Key(),
+		cfg.Procs, cfg.OpCost, cfg.MemCost, cfg.LoopCost,
+		cfg.SendStartup, cfg.RecvStartup, cfg.PerValue, cfg.Latency)
+}
+
+// Measure compiles and runs one candidate on the simulated machine, validates
+// its result against the sequential reference, and reports the measurement.
+// It is deterministic: rerunning the same candidate reproduces the makespan
+// exactly, which the search (and its tests) rely on.
+func Measure(w *Workload, c Candidate, cfg machine.Config) (Measurement, error) {
+	m, _, err := measure(w, c, cfg, false)
+	return m, err
+}
+
+// measure optionally traces the run and captures it for the analyzer.
+func measure(w *Workload, c Candidate, cfg machine.Config, traced bool) (Measurement, *analysis.Dump, error) {
+	progs, info, err := w.compile(c, cfg.Procs)
+	if err != nil {
+		return Measurement{}, nil, err
+	}
+	ins, _, err := w.inputs(info)
+	if err != nil {
+		return Measurement{}, nil, err
+	}
+	cfg.Tracer = nil
+	var tr *trace.Log
+	if traced {
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
+	out, err := exec.RunSPMD(progs, cfg, ins)
+	if err != nil {
+		return Measurement{}, nil, err
+	}
+	if err := w.validate(out, progs, info); err != nil {
+		return Measurement{}, nil, fmt.Errorf("%s computes the wrong answer: %w", c.Key(), err)
+	}
+	m := Measurement{Makespan: uint64(out.Stats.Makespan), Messages: out.Stats.Messages, Values: out.Stats.Values}
+	if traced {
+		return m, analysis.NewDump(cfg, tr), nil
+	}
+	return m, nil, nil
+}
+
+// DefaultHand is the paper's hand-chosen mapping for a machine of the given
+// size: cyclic columns across every processor, fully optimized, block size 8.
+func DefaultHand(procs int) Candidate {
+	return Candidate{Mapping: Mapping{Kind: dist.KindCyclicCols, Span: int64(procs)}, Mode: "opt3", Blk: 8}
+}
+
+// forEach runs f(0..n-1) on a bounded worker pool. Callers write results by
+// index, so scheduling order never leaks into the output.
+func forEach(n, workers int, f func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Search runs the tiered search and returns its report. It fails (rather
+// than report) if the machine configuration is outside the model, if the
+// baseline run contradicts the model, or if any modeled candidate's measured
+// makespan differs from its prediction.
+func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("autotune: machine with %d processors", cfg.Procs)
+	}
+	if cfg.Faults != nil {
+		return nil, errors.New("autotune: the cost model does not cover fault injection")
+	}
+	if cfg.Placement != nil {
+		return nil, errors.New("autotune: the cost model does not cover multiplexed placement")
+	}
+	if cfg.MailboxCap > 0 {
+		return nil, errors.New("autotune: the cost model does not cover bounded mailboxes")
+	}
+	if opts.Keep <= 0 {
+		opts.Keep = 12
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 6
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.BaselineMode == "" {
+		opts.BaselineMode = "ctr"
+	}
+	hand := DefaultHand(cfg.Procs)
+	if opts.Hand != nil {
+		hand = *opts.Hand
+	}
+
+	rep := &Report{Workload: w.Name, Procs: cfg.Procs, Defines: w.Defines, Hand: hand.Key()}
+
+	// Anchor: run the program as annotated, traced, and demand that both the
+	// dump's identity replay and the walker's prediction reproduce the
+	// measured makespan before trusting the model anywhere else.
+	if err := anchor(w, cfg, opts, rep); err != nil {
+		return nil, err
+	}
+
+	// Enumerate, forcing the hand-chosen reference in so the winner is never
+	// worse than it.
+	cands := opts.Space.Enumerate(cfg.Procs)
+	rep.Enumerated = len(cands)
+	if !hasKey(cands, hand.Key()) {
+		cands = append(cands, hand)
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
+	}
+
+	// Tier 1: compile and walk everything.
+	results := make([]Result, len(cands))
+	profiles := make([]*Profile, len(cands))
+	forEach(len(cands), opts.Workers, func(i int) {
+		c := cands[i]
+		results[i] = Result{Candidate: c}
+		progs, _, err := w.compile(c, cfg.Procs)
+		if err != nil {
+			results[i].Status = StatusInfeasible
+			results[i].Note = err.Error()
+			return
+		}
+		pf, err := BuildProfile(progs, cfg)
+		if err != nil {
+			var um *ErrUnmodeled
+			if errors.As(err, &um) {
+				results[i].Unmodeled = true
+				results[i].Note = um.Reason
+				return
+			}
+			results[i].Status = StatusInfeasible
+			results[i].Note = err.Error()
+			return
+		}
+		profiles[i] = pf
+		results[i].Status = StatusPruned
+		results[i].Static = pf.Static(cfg)
+	})
+
+	// Tier 2, with a sound prune. The static score is a lower bound on the
+	// makespan (busy time can only be stretched by waits), so replaying in
+	// static order and stopping once the bound passes the best prediction is
+	// branch-and-bound, not a heuristic: a pruned candidate provably cannot
+	// win. Keep forces at least that many replays regardless of the bound.
+	modeled := indicesWhere(results, func(r Result) bool { return r.Status == StatusPruned })
+	sort.SliceStable(modeled, func(a, b int) bool {
+		ra, rb := results[modeled[a]], results[modeled[b]]
+		if ra.Static != rb.Static {
+			return ra.Static < rb.Static
+		}
+		return ra.Candidate.Key() < rb.Candidate.Key()
+	})
+	best := uint64(0)
+	haveBest := false
+	for n, i := range modeled {
+		forced := results[i].Candidate.Key() == hand.Key()
+		if n >= opts.Keep && haveBest && results[i].Static >= best && !forced {
+			continue // provably not the winner
+		}
+		pred, err := profiles[i].Predict(cfg)
+		if err != nil {
+			results[i].Status = StatusInfeasible
+			results[i].Note = err.Error()
+			continue
+		}
+		results[i].Status = StatusPredicted
+		results[i].Predicted = pred
+		results[i].Messages = profiles[i].Messages
+		results[i].Values = profiles[i].Values
+		if !haveBest || pred < best {
+			best, haveBest = pred, true
+		}
+	}
+
+	// Tier 3 selection: the TopK best-predicted, the reference, and every
+	// unmodeled candidate (the model cannot rank what it cannot walk).
+	predicted := indicesWhere(results, func(r Result) bool { return r.Status == StatusPredicted })
+	sort.SliceStable(predicted, func(a, b int) bool {
+		ra, rb := results[predicted[a]], results[predicted[b]]
+		if ra.Predicted != rb.Predicted {
+			return ra.Predicted < rb.Predicted
+		}
+		return ra.Candidate.Key() < rb.Candidate.Key()
+	})
+	toMeasure := map[int]bool{}
+	for n, i := range predicted {
+		if n < opts.TopK || results[i].Candidate.Key() == hand.Key() {
+			toMeasure[i] = true
+		}
+	}
+	for i, r := range results {
+		if r.Unmodeled {
+			toMeasure[i] = true
+		}
+	}
+	var mIdx []int
+	for i := range toMeasure {
+		mIdx = append(mIdx, i)
+	}
+	sort.Ints(mIdx)
+
+	// Tier 3: confirm on the simulated machine, through the cache.
+	errs := make([]error, len(mIdx))
+	forEach(len(mIdx), opts.Workers, func(n int) {
+		i := mIdx[n]
+		key := CacheKey(w, results[i].Candidate, cfg)
+		m, ok := opts.Cache.get(key)
+		if !ok {
+			var err error
+			m, err = Measure(w, results[i].Candidate, cfg)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			opts.Cache.put(key, m)
+		}
+		results[i].Status = StatusMeasured
+		results[i].Measured = m.Makespan
+		results[i].Messages = m.Messages
+		results[i].Values = m.Values
+	})
+	for n, err := range errs {
+		if err != nil {
+			// A candidate that compiles and models but fails to run (or runs
+			// wrong) is a model violation for modeled candidates, a mere
+			// infeasibility for unmodeled ones.
+			i := mIdx[n]
+			if !results[i].Unmodeled {
+				return nil, fmt.Errorf("autotune: modeled candidate %s failed to run: %w", results[i].Candidate.Key(), err)
+			}
+			results[i].Status = StatusInfeasible
+			results[i].Note = err.Error()
+		}
+	}
+
+	// The invariant that makes the report trustworthy: a modeled candidate's
+	// measured makespan must equal its DAG-replay prediction, cycle for cycle.
+	for _, i := range mIdx {
+		r := results[i]
+		if r.Status == StatusMeasured && !r.Unmodeled && r.Predicted != r.Measured {
+			return nil, fmt.Errorf("autotune: %s predicted %d but measured %d — the cost model is wrong",
+				r.Candidate.Key(), r.Predicted, r.Measured)
+		}
+	}
+
+	// Winner and regret.
+	winner, handIdx := -1, -1
+	for _, i := range mIdx {
+		r := results[i]
+		if r.Status != StatusMeasured {
+			continue
+		}
+		if r.Candidate.Key() == hand.Key() {
+			handIdx = i
+		}
+		if winner < 0 || r.Measured < results[winner].Measured ||
+			(r.Measured == results[winner].Measured && r.Candidate.Key() < results[winner].Candidate.Key()) {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		return nil, errors.New("autotune: no candidate survived to measurement")
+	}
+	if handIdx < 0 {
+		return nil, fmt.Errorf("autotune: reference candidate %s was not measurable", hand.Key())
+	}
+	rep.Winner = results[winner].Candidate.Key()
+	rep.Regret = results[handIdx].Measured - results[winner].Measured
+
+	// Rerun the winner traced: the rerun must reproduce the measurement
+	// exactly, and its critical path attributes the makespan by cause.
+	m2, d, err := measure(w, results[winner].Candidate, cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: winner rerun: %w", err)
+	}
+	if m2.Makespan != results[winner].Measured {
+		return nil, fmt.Errorf("autotune: winner %s measured %d but rerun gave %d — the machine is not deterministic",
+			rep.Winner, results[winner].Measured, m2.Makespan)
+	}
+	cp, err := d.CriticalPath()
+	if err != nil {
+		return nil, fmt.Errorf("autotune: winner attribution: %w", err)
+	}
+	rep.Attr = cp.Attr
+
+	rep.Results = orderResults(results)
+	return rep, nil
+}
+
+// anchor measures the declared program traced and checks the model against
+// it: dump identity replay, walker DAG replay, and message totals must all
+// agree with the machine.
+func anchor(w *Workload, cfg machine.Config, opts Options, rep *Report) error {
+	progs, info, err := w.compileDeclared(opts.BaselineMode, opts.BaselineBlk, cfg.Procs)
+	if err != nil {
+		return fmt.Errorf("autotune: baseline does not compile: %w", err)
+	}
+	ins, _, err := w.inputs(info)
+	if err != nil {
+		return err
+	}
+	bcfg := cfg
+	tr := trace.New()
+	bcfg.Tracer = tr
+	out, err := exec.RunSPMD(progs, bcfg, ins)
+	if err != nil {
+		return fmt.Errorf("autotune: baseline run: %w", err)
+	}
+	if err := w.validate(out, progs, info); err != nil {
+		return fmt.Errorf("autotune: baseline computes the wrong answer: %w", err)
+	}
+	measured := uint64(out.Stats.Makespan)
+
+	d := analysis.NewDump(bcfg, tr)
+	identity, err := d.Predict(analysis.Scenario{})
+	if err != nil {
+		return fmt.Errorf("autotune: baseline identity replay: %w", err)
+	}
+	if identity != measured {
+		return fmt.Errorf("autotune: baseline identity replay %d != measured %d", identity, measured)
+	}
+	pf, err := BuildProfile(progs, cfg)
+	if err != nil {
+		return fmt.Errorf("autotune: baseline is not statically modelable: %w", err)
+	}
+	pred, err := pf.Predict(cfg)
+	if err != nil {
+		return fmt.Errorf("autotune: baseline DAG replay: %w", err)
+	}
+	if pred != measured {
+		return fmt.Errorf("autotune: baseline predicted %d != measured %d — the walker disagrees with the interpreter", pred, measured)
+	}
+	if pf.Messages != out.Stats.Messages || pf.Values != out.Stats.Values {
+		return fmt.Errorf("autotune: baseline modeled %d messages/%d values, machine reports %d/%d",
+			pf.Messages, pf.Values, out.Stats.Messages, out.Stats.Values)
+	}
+	rep.Baseline = Baseline{
+		Mode: opts.BaselineMode, Blk: opts.BaselineBlk,
+		Measured: measured, Predicted: pred,
+		Messages: out.Stats.Messages, Values: out.Stats.Values,
+	}
+	return nil
+}
+
+func hasKey(cands []Candidate, key string) bool {
+	for _, c := range cands {
+		if c.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func indicesWhere(rs []Result, pred func(Result) bool) []int {
+	var out []int
+	for i, r := range rs {
+		if pred(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// orderResults sorts for presentation: measured by makespan, then predicted
+// by prediction, then pruned by static score, then infeasible by key.
+func orderResults(rs []Result) []Result {
+	rank := func(r Result) int {
+		switch r.Status {
+		case StatusMeasured:
+			return 0
+		case StatusPredicted:
+			return 1
+		case StatusPruned:
+			return 2
+		default:
+			return 3
+		}
+	}
+	out := append([]Result(nil), rs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if rank(a) != rank(b) {
+			return rank(a) < rank(b)
+		}
+		switch a.Status {
+		case StatusMeasured:
+			if a.Measured != b.Measured {
+				return a.Measured < b.Measured
+			}
+		case StatusPredicted:
+			if a.Predicted != b.Predicted {
+				return a.Predicted < b.Predicted
+			}
+		case StatusPruned:
+			if a.Static != b.Static {
+				return a.Static < b.Static
+			}
+		}
+		return a.Candidate.Key() < b.Candidate.Key()
+	})
+	return out
+}

@@ -9,7 +9,6 @@ package bench
 import (
 	"fmt"
 
-	"procdecomp/internal/core"
 	"procdecomp/internal/exec"
 	"procdecomp/internal/istruct"
 	"procdecomp/internal/lang"
@@ -17,7 +16,6 @@ import (
 	"procdecomp/internal/sem"
 	"procdecomp/internal/spmd"
 	"procdecomp/internal/wavefront"
-	"procdecomp/internal/xform"
 )
 
 // GSSource is the Gauss-Seidel program of the paper's Fig. 1, in Idn. The
@@ -161,38 +159,15 @@ func checkGS(src string, procs int, n int64) (*sem.Info, error) {
 	return info, nil
 }
 
-// CompileGS compiles the Fig. 1 program under a variant. For Handwritten it
-// returns nil (RunGS dispatches to the wavefront package instead).
+// CompileGS compiles the Fig. 1 program under a variant, dispatching through
+// the exported registry. For Handwritten it returns nil (RunGS dispatches to
+// the wavefront package instead).
 func CompileGS(v Variant, procs int, n, blk int64) ([]*spmd.Program, error) {
-	if v == Handwritten {
-		return nil, nil
+	spec, ok := SpecOf(v)
+	if !ok {
+		return nil, fmt.Errorf("bench: variant %v has no registry entry", v)
 	}
-	info, err := checkGS(GSSource, procs, n)
-	if err != nil {
-		return nil, err
-	}
-	comp := core.New(info)
-	if v == RunTime {
-		generic, err := comp.CompileRTR("gs_iteration")
-		if err != nil {
-			return nil, err
-		}
-		return []*spmd.Program{generic}, nil
-	}
-	progs, err := comp.CompileCTR("gs_iteration", true)
-	if err != nil {
-		return nil, err
-	}
-	if v >= OptimizedI {
-		xform.Vectorize(progs)
-	}
-	if v >= OptimizedII {
-		xform.Jam(progs)
-	}
-	if v >= OptimizedIII {
-		xform.StripMine(progs, blk)
-	}
-	return progs, nil
+	return spec.Compile(procs, n, blk)
 }
 
 // RunGS measures one configuration on the default (iPSC/2-like) machine.

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"procdecomp/internal/machine"
+	"procdecomp/internal/spmd"
+)
+
+// The registry must cover every variant exactly once, under a unique name,
+// with the legend matching the enum's String — the invariants that let
+// pdbench and pdmap share it without drifting.
+func TestRegistryCoversAllVariants(t *testing.T) {
+	specs := Variants()
+	if len(specs) != len(AllVariants) {
+		t.Fatalf("registry has %d entries for %d variants", len(specs), len(AllVariants))
+	}
+	names := map[string]bool{}
+	for i, spec := range specs {
+		if spec.Variant != AllVariants[i] {
+			t.Errorf("entry %d is %v, want %v", i, spec.Variant, AllVariants[i])
+		}
+		if spec.Name == "" || names[spec.Name] {
+			t.Errorf("entry %v has empty or duplicate name %q", spec.Variant, spec.Name)
+		}
+		names[spec.Name] = true
+		if spec.Legend != spec.Variant.String() {
+			t.Errorf("entry %v legend %q != String %q", spec.Variant, spec.Legend, spec.Variant.String())
+		}
+		if spec.Compile == nil || spec.Run == nil {
+			t.Fatalf("entry %v missing hooks", spec.Variant)
+		}
+		if spec.Handwritten != (spec.Variant == Handwritten) {
+			t.Errorf("entry %v Handwritten flag wrong", spec.Variant)
+		}
+		byName, ok := LookupVariant(spec.Name)
+		if !ok || byName.Variant != spec.Variant {
+			t.Errorf("LookupVariant(%q) = %v, %v", spec.Name, byName.Variant, ok)
+		}
+		byLegend, ok := LookupVariant(spec.Legend)
+		if !ok || byLegend.Variant != spec.Variant {
+			t.Errorf("LookupVariant(%q) = %v, %v", spec.Legend, byLegend.Variant, ok)
+		}
+	}
+	if _, ok := LookupVariant("opt9"); ok {
+		t.Error("LookupVariant accepted an unknown name")
+	}
+}
+
+// The registry's compile hooks are the same code path CompileGS uses — the
+// generated programs must be identical, and the pipelines must match the
+// standard modes.
+func TestRegistryCompileMatchesCompileGS(t *testing.T) {
+	format := func(progs []*spmd.Program) string {
+		var b strings.Builder
+		for _, p := range progs {
+			b.WriteString(spmd.Format(p))
+		}
+		return b.String()
+	}
+	for _, spec := range Variants() {
+		direct, err := CompileGS(spec.Variant, 4, 16, 4)
+		if err != nil {
+			t.Fatalf("%v: CompileGS: %v", spec.Variant, err)
+		}
+		viaSpec, err := spec.Compile(4, 16, 4)
+		if err != nil {
+			t.Fatalf("%v: registry compile: %v", spec.Variant, err)
+		}
+		if spec.Handwritten {
+			if direct != nil || viaSpec != nil {
+				t.Errorf("%v: handwritten variant compiled to programs", spec.Variant)
+			}
+			continue
+		}
+		if format(direct) != format(viaSpec) {
+			t.Errorf("%v: registry and CompileGS produced different code", spec.Variant)
+		}
+	}
+}
+
+// The registry run hook measures exactly what RunGSWith measures.
+func TestRegistryRunMatchesRunGS(t *testing.T) {
+	spec, ok := LookupVariant("opt3")
+	if !ok {
+		t.Fatal("opt3 missing")
+	}
+	cfg := machine.DefaultConfig(4)
+	got, err := spec.Run(cfg, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunGSWith(cfg, OptimizedIII, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("registry run %+v != RunGSWith %+v", got, want)
+	}
+}
+
+// The validated pipeline now rejects a non-positive strip size instead of
+// silently skipping the pass.
+func TestCompileGSRejectsBadBlock(t *testing.T) {
+	if _, err := CompileGS(OptimizedIII, 4, 16, 0); err == nil {
+		t.Error("OptimizedIII with block size 0 accepted")
+	}
+	// Variants below OptimizedIII ignore the block size entirely.
+	if _, err := CompileGS(OptimizedII, 4, 16, 0); err != nil {
+		t.Errorf("OptimizedII with block size 0: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kinds lists every decomposition family in declaration order. It is the
+// canonical enumeration for flag parsing, search-space construction, and the
+// round-trip tests that keep Parse and Kind.String inverses of each other.
+func Kinds() []Kind {
+	return []Kind{
+		KindCyclicCols, KindCyclicRows, KindBlockCols, KindBlockRows,
+		KindBlock2D, KindReplicated, KindSingle, KindCyclicVec, KindBlockVec,
+	}
+}
+
+// Parse is the inverse of Kind.String: it resolves a decomposition family by
+// its canonical name ("cyclic_cols", "block2d", "all", ...), so command-line
+// tools can take -dist flags by name. The match is case-insensitive; an
+// unknown name lists the valid ones in the error.
+func Parse(s string) (Kind, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for _, k := range Kinds() {
+		if k.String() == want {
+			return k, nil
+		}
+	}
+	names := make([]string, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	return 0, fmt.Errorf("dist: unknown decomposition %q (want one of %s)", s, strings.Join(names, ", "))
+}

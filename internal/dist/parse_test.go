@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Parse must be the exact inverse of Kind.String over every family, so
+// command-line -dist flags round-trip without a parallel name table drifting.
+func TestParseRoundTrip(t *testing.T) {
+	seen := map[string]Kind{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Fatalf("kind %d has no canonical name", int(k))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %v and %v share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		got, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if got != k {
+			t.Errorf("Parse(%q) = %v, want %v", name, got, k)
+		}
+		// Case and surrounding space are forgiven — flags come from humans.
+		if got, err := Parse("  " + strings.ToUpper(name) + " "); err != nil || got != k {
+			t.Errorf("Parse(%q uppercased) = %v, %v; want %v", name, got, err, k)
+		}
+	}
+	if len(seen) != len(Kinds()) {
+		t.Fatalf("Kinds() lists %d kinds, %d unique names", len(Kinds()), len(seen))
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	for _, bad := range []string{"", "diagonal", "cyclic_colz", "Kind(3)"} {
+		if k, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", bad, k)
+		} else if !strings.Contains(err.Error(), "cyclic_cols") {
+			t.Errorf("Parse(%q) error %q does not list valid names", bad, err)
+		}
+	}
+}
+
+// Property: every bound decomposition partitions its global index space —
+// each element has exactly one owner in [0, P), its local index lies inside
+// the local allocation, and no two global indices collide on the same
+// (owner, local) slot. Replicated data is the stated exception: every owner
+// is All and local is the identity. Exercised across the machine sizes the
+// acceptance suite cares about (S ∈ {1,2,4,32}) and shapes that do not
+// divide evenly.
+func TestPartitionPropertyAcrossSizes(t *testing.T) {
+	sizes := []int64{1, 2, 4, 32}
+	shapes := [][2]int64{{7, 13}, {33, 9}, {32, 32}, {1, 40}}
+	for _, s := range sizes {
+		for _, sh := range shapes {
+			rows, cols := sh[0], sh[1]
+			ds := []Dist{
+				NewCyclicCols(s, rows, cols),
+				NewCyclicRows(s, rows, cols),
+				NewBlockCols(s, rows, cols),
+				NewBlockRows(s, rows, cols),
+				NewSingle(s, s-1, rows, cols),
+				NewReplicated(s, rows, cols),
+			}
+			for pr := int64(1); pr <= s; pr++ {
+				if s%pr == 0 {
+					ds = append(ds, NewBlock2D(pr, s/pr, rows, cols))
+				}
+			}
+			for _, d := range ds {
+				checkMatrixPartition(t, d, s, rows, cols)
+			}
+			// Vector families, on a deliberately non-divisible length.
+			n := rows*cols - 1
+			for _, d := range []Dist{NewCyclicVec(s, n), NewBlockVec(s, n)} {
+				checkVecPartition(t, d, s, n)
+			}
+		}
+	}
+}
+
+func checkMatrixPartition(t *testing.T, d Dist, procs, rows, cols int64) {
+	t.Helper()
+	ls := d.LocalShape()
+	slots := map[string]bool{}
+	for i := int64(1); i <= rows; i++ {
+		for j := int64(1); j <= cols; j++ {
+			idx := []int64{i, j}
+			p := d.Owner(idx)
+			if d.Kind() == KindReplicated {
+				if p != All {
+					t.Fatalf("%v: replicated owner(%v) = %d, want All", d, idx, p)
+				}
+				continue
+			}
+			if p < 0 || p >= procs {
+				t.Fatalf("%v: owner(%v) = %d outside [0,%d)", d, idx, p, procs)
+			}
+			l := d.Local(idx)
+			if len(l) != len(ls) {
+				t.Fatalf("%v: local rank %d != alloc rank %d", d, len(l), len(ls))
+			}
+			for k := range l {
+				if l[k] < 1 || l[k] > ls[k] {
+					t.Fatalf("%v: local(%v) = %v outside alloc %v", d, idx, l, ls)
+				}
+			}
+			key := fmt.Sprintf("%d/%v", p, l)
+			if slots[key] {
+				t.Fatalf("%v: two global indices own slot %s", d, key)
+			}
+			slots[key] = true
+		}
+	}
+	if d.Kind() != KindReplicated && int64(len(slots)) != rows*cols {
+		t.Fatalf("%v: %d slots for %d elements", d, len(slots), rows*cols)
+	}
+}
+
+func checkVecPartition(t *testing.T, d Dist, procs, n int64) {
+	t.Helper()
+	ls := d.LocalShape()
+	slots := map[string]bool{}
+	for i := int64(1); i <= n; i++ {
+		p := d.Owner([]int64{i})
+		if p < 0 || p >= procs {
+			t.Fatalf("%v: owner(%d) = %d outside [0,%d)", d, i, p, procs)
+		}
+		l := d.Local([]int64{i})
+		if l[0] < 1 || l[0] > ls[0] {
+			t.Fatalf("%v: local(%d) = %v outside alloc %v", d, i, l, ls)
+		}
+		key := fmt.Sprintf("%d/%d", p, l[0])
+		if slots[key] {
+			t.Fatalf("%v: two elements own slot %s", d, key)
+		}
+		slots[key] = true
+	}
+	if int64(len(slots)) != n {
+		t.Fatalf("%v: %d slots for %d elements", d, len(slots), n)
+	}
+}

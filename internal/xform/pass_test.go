@@ -1,0 +1,149 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"procdecomp/internal/core"
+	"procdecomp/internal/spmd"
+)
+
+// Every malformed pass must be rejected with an error, never a panic or a
+// silent no-op: bad strip sizes, misplaced parameters, missing interchange
+// variables, unknown kinds, and empty program lists.
+func TestPassValidateRejections(t *testing.T) {
+	cases := []struct {
+		pass Pass
+		want string // substring of the error
+	}{
+		{Pass{Kind: PassStripMine, Blk: 0}, "block size must be >= 1"},
+		{Pass{Kind: PassStripMine, Blk: -4}, "block size must be >= 1"},
+		{Pass{Kind: PassStripMine, Blk: 2, Var: "i"}, "no loop variable"},
+		{Pass{Kind: PassInterchange}, "needs the outer loop variable"},
+		{Pass{Kind: PassInterchange, Var: "i", Blk: 3}, "no block size"},
+		{Pass{Kind: PassVectorize, Blk: 8}, "takes no parameters"},
+		{Pass{Kind: PassJam, Var: "j"}, "takes no parameters"},
+		{Pass{Kind: PassKind(99)}, "unknown pass kind"},
+	}
+	for _, c := range cases {
+		err := c.pass.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) accepted, want error containing %q", c.pass, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %q, want substring %q", c.pass, err, c.want)
+		}
+		// Apply must refuse the same inputs without touching the programs.
+		if _, err := c.pass.Apply([]*spmd.Program{{Name: "p"}}); err == nil {
+			t.Errorf("Apply(%+v) accepted invalid pass", c.pass)
+		}
+	}
+	if _, err := (Pass{Kind: PassVectorize}).Apply(nil); err == nil {
+		t.Error("Apply on an empty program list accepted")
+	}
+}
+
+// An interchange whose outer variable matches no perfect loop nest is an
+// applicability error, not a silent no-op. Interchange runs on the generic
+// program before specialization (the CTR-specialized bodies are no longer
+// perfect nests), so that is what the pass is validated against.
+func TestInterchangeApplicability(t *testing.T) {
+	generic, err := core.New(checked(t, 4, 16)).CompileRTR("gs_iteration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*spmd.Program{generic}
+	if _, err := (Pass{Kind: PassInterchange, Var: "nosuchvar"}).Apply(progs); err == nil {
+		t.Fatal("interchange on a missing loop variable accepted")
+	}
+	// The GS nest is j-outer; interchanging on j must swap it to i-outer.
+	n, err := (Pass{Kind: PassInterchange, Var: "j"}).Apply(progs)
+	if err != nil {
+		t.Fatalf("interchange(j): %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("interchange(j) swapped %d programs, want 1", n)
+	}
+	// The nest is now i-outer: a second interchange on j has nothing to swap.
+	if _, err := (Pass{Kind: PassInterchange, Var: "j"}).Apply(progs); err == nil {
+		t.Fatal("interchange applied twice on the same outer variable")
+	}
+}
+
+// The validated passes must produce exactly the same code as the bare
+// functions they wrap — Pass is a contract change, not a behavior change.
+func TestPassesMatchBareFunctions(t *testing.T) {
+	compile := func() []*spmd.Program { return compileCTR(t, checked(t, 4, 16)) }
+	format := func(progs []*spmd.Program) string {
+		var b strings.Builder
+		for _, p := range progs {
+			b.WriteString(spmd.Format(p))
+		}
+		return b.String()
+	}
+
+	bare := compile()
+	Vectorize(bare)
+	Jam(bare)
+	StripMine(bare, 4)
+
+	viaPasses := compile()
+	passes, ok := StandardPipeline("opt3", 4)
+	if !ok {
+		t.Fatal("opt3 is not a standard mode")
+	}
+	counts, err := Apply(viaPasses, passes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Errorf("pass %v transformed nothing on the GS program", passes[i])
+		}
+	}
+	if format(bare) != format(viaPasses) {
+		t.Fatal("pass pipeline and bare functions produced different code")
+	}
+}
+
+func TestStandardPipelineModes(t *testing.T) {
+	want := map[string][]string{
+		"rtr":  nil,
+		"ctr":  nil,
+		"opt1": {"vectorize"},
+		"opt2": {"vectorize", "jam"},
+		"opt3": {"vectorize", "jam", "stripmine(8)"},
+	}
+	for _, mode := range StandardModes() {
+		passes, ok := StandardPipeline(mode, 8)
+		if !ok {
+			t.Fatalf("StandardPipeline rejects its own mode %q", mode)
+		}
+		var names []string
+		for _, p := range passes {
+			names = append(names, p.String())
+			if err := p.Validate(); err != nil {
+				t.Errorf("mode %s yields invalid pass %v: %v", mode, p, err)
+			}
+		}
+		if len(names) != len(want[mode]) {
+			t.Fatalf("mode %s: passes %v, want %v", mode, names, want[mode])
+		}
+		for i := range names {
+			if names[i] != want[mode][i] {
+				t.Fatalf("mode %s: passes %v, want %v", mode, names, want[mode])
+			}
+		}
+	}
+	if _, ok := StandardPipeline("warp", 8); ok {
+		t.Error("unknown mode accepted")
+	}
+	// A strip size of 0 in opt3 yields an invalid pass that Apply rejects —
+	// the silent StripMine(progs, 0) no-op is no longer reachable through the
+	// validated path.
+	passes, _ := StandardPipeline("opt3", 0)
+	if _, err := Apply(compileCTR(t, checked(t, 4, 16)), passes); err == nil {
+		t.Error("opt3 with block size 0 accepted")
+	}
+}
