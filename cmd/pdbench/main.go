@@ -22,12 +22,13 @@ import (
 	"strings"
 
 	"procdecomp/internal/bench"
+	"procdecomp/internal/enginebench"
 	"procdecomp/internal/machine"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | attribution | balance | multiplex | faults | none | all")
+		fig       = flag.String("fig", "all", "6 | 7 | messages | blocksize | interchange | sharedmem | utilization | attribution | balance | multiplex | faults | engine | none | all (engine runs only when named)")
 		n         = flag.Int64("n", 128, "grid size N (the paper uses 128)")
 		blk       = flag.Int64("blk", bench.DefaultBlk, "block size for Optimized III / handwritten")
 		procsCS   = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep)")
@@ -35,6 +36,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of one Optimized III Fig. 6 run (open in Perfetto, analyze with pdtrace)")
 		faultRate = flag.Float64("faults", 0.10, "top drop rate of the fault sweep (-fig faults)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault sweep's chaos schedules")
+
+		engineJSON = flag.String("engine-json", "", "write the engine differential benchmark as JSON to this file (implies -fig engine)")
+		minSpeedup = flag.Float64("engine-min-speedup", 5, "fail unless the event loop beats the goroutine baseline by this factor on the gated shape")
 	)
 	flag.Parse()
 
@@ -103,6 +107,34 @@ func main() {
 		run("fault sweep", func() (*bench.Series, error) {
 			return bench.FaultSweep(*n/2, *blk, 8, *faultSeed, rates)
 		})
+	}
+
+	if *fig == "engine" || *engineJSON != "" {
+		rep, err := enginebench.RunEngineBench(*minSpeedup)
+		if err != nil {
+			fatal(fmt.Errorf("engine benchmark: %w", err))
+		}
+		fmt.Println(rep.Format())
+		if *engineJSON != "" {
+			f, err := os.Create(*engineJSON)
+			if err != nil {
+				fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("json: engine differential benchmark -> %s\n", *engineJSON)
+		}
+		if !rep.Pass {
+			fatal(fmt.Errorf("engine gate: event loop is %.1fx faster than the goroutine baseline on the gated shape, need >= %.1fx",
+				rep.GateSpeedup, *minSpeedup))
+		}
 	}
 
 	if *jsonOut != "" {

@@ -63,6 +63,9 @@ func main() {
 		if m.Span == 0 {
 			m.Span = int64(*procs) // bare family name: span the whole machine
 		}
+		if err := m.Validate(int64(*procs)); err != nil {
+			fatal(err)
+		}
 		if err := autotune.Retarget(prog, rm.name, m); err != nil {
 			fatal(err)
 		}

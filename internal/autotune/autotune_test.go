@@ -231,3 +231,61 @@ func TestSearchRejectsUnmodeledMachines(t *testing.T) {
 		t.Error("search accepted bounded mailboxes")
 	}
 }
+
+// Mapping validation: every owner a candidate mapping can produce must name
+// a real processor, or the candidate must be rejected before Retarget —
+// degenerate mappings used to crash the search mid-run deep inside dist.
+func TestMappingValidate(t *testing.T) {
+	for _, tc := range []struct {
+		m  Mapping
+		ok bool
+	}{
+		{Mapping{Kind: dist.KindCyclicCols, Span: 4}, true},
+		{Mapping{Kind: dist.KindCyclicCols, Span: 1}, true},
+		{Mapping{Kind: dist.KindCyclicCols, Span: 0}, false},
+		{Mapping{Kind: dist.KindCyclicCols, Span: -2}, false},
+		{Mapping{Kind: dist.KindBlockRows, Span: 8}, false}, // spans past the machine
+		{Mapping{Kind: dist.KindBlock2D, PR: 2, PC: 2}, true},
+		{Mapping{Kind: dist.KindBlock2D, PR: 0, PC: 2}, false},
+		{Mapping{Kind: dist.KindBlock2D, PR: 4, PC: 2}, false}, // 8 > 4 processors
+		{Mapping{Kind: dist.KindReplicated}, true},
+		{Mapping{Kind: dist.KindSingle}, true},
+		{Mapping{Kind: dist.Kind(99)}, false},
+	} {
+		err := tc.m.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.m, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want rejection", tc.m)
+		}
+	}
+}
+
+// A degenerate candidate handed straight to Measure (the pdmap/pdrun entry
+// points route through the same compile) comes back as an error, not a panic.
+func TestMeasureRejectsDegenerateMapping(t *testing.T) {
+	cfg := machine.DefaultConfig(4)
+	w := gsWorkload(8)
+	for _, m := range []Mapping{
+		{Kind: dist.KindCyclicCols, Span: 8},
+		{Kind: dist.KindBlock2D, PR: 4, PC: 2},
+	} {
+		_, err := Measure(w, Candidate{Mapping: m, Mode: "ctr"}, cfg)
+		if err == nil {
+			t.Errorf("%s: measuring a degenerate mapping succeeded", m)
+		}
+	}
+}
+
+// A search whose reference candidate is degenerate must skip it as
+// infeasible and fail with a diagnosis, never crash.
+func TestSearchSurvivesDegenerateHand(t *testing.T) {
+	w := gsWorkload(8)
+	cfg := machine.DefaultConfig(4)
+	hand := Candidate{Mapping: Mapping{Kind: dist.KindCyclicCols, Span: 64}, Mode: "ctr"}
+	_, err := Search(w, cfg, Options{Hand: &hand})
+	if err == nil {
+		t.Fatal("search with a degenerate reference succeeded")
+	}
+}

@@ -62,6 +62,41 @@ func (m Mapping) String() string {
 	}
 }
 
+// Validate checks that the mapping is executable on a machine of the given
+// size: every owner the decomposition can produce must name a real processor.
+// A mapping that fails validation would crash the run it is compiled into —
+// the dist constructors panic on degenerate parameters, and out-of-machine
+// owners address nonexistent processes — so the search validates every
+// candidate before retargeting and skips offenders with a logged note
+// instead of dying mid-search.
+func (m Mapping) Validate(procs int64) error {
+	if procs < 1 {
+		return fmt.Errorf("autotune: machine with %d processors", procs)
+	}
+	switch m.Kind {
+	case dist.KindReplicated, dist.KindSingle:
+		return nil
+	case dist.KindBlock2D:
+		if m.PR < 1 || m.PC < 1 {
+			return fmt.Errorf("autotune: mapping %s: grid %dx%d is degenerate", m, m.PR, m.PC)
+		}
+		if m.PR*m.PC > procs {
+			return fmt.Errorf("autotune: mapping %s: grid spans %d processors, machine has %d", m, m.PR*m.PC, procs)
+		}
+		return nil
+	case dist.KindCyclicCols, dist.KindCyclicRows, dist.KindBlockCols,
+		dist.KindBlockRows, dist.KindCyclicVec, dist.KindBlockVec:
+		if m.Span < 1 {
+			return fmt.Errorf("autotune: mapping %s: span %d is not positive", m, m.Span)
+		}
+		if m.Span > procs {
+			return fmt.Errorf("autotune: mapping %s: span %d exceeds the machine's %d processors", m, m.Span, procs)
+		}
+		return nil
+	}
+	return fmt.Errorf("autotune: mapping kind %v is not retargetable", m.Kind)
+}
+
 // A Candidate is one point of the search space: a mapping plus the
 // optimization pipeline compiled on top of it.
 type Candidate struct {

@@ -40,6 +40,12 @@ func (w *Workload) compile(c Candidate, procs int) ([]*spmd.Program, *sem.Info, 
 	if err != nil {
 		return nil, nil, err
 	}
+	// Reject mappings the machine cannot execute before they are compiled in:
+	// a degenerate or out-of-machine mapping would otherwise panic deep in
+	// dist/exec instead of surfacing as an infeasible candidate.
+	if err := c.Mapping.Validate(int64(procs)); err != nil {
+		return nil, nil, err
+	}
 	if err := Retarget(prog, w.Dist, c.Mapping); err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,135 @@
+package bench
+
+// Differential harness for the simulator cores. The event-loop engine
+// (machine.EngineEvent) replaced the goroutines+condvar machine as the
+// default; the old engine stays available behind Config.Engine precisely so
+// this harness can prove the two are observably identical — equal Stats
+// (makespans, Breakdowns, message and transport counters) and byte-for-byte
+// identical trace dumps, wire events and MsgSeq included — on every Fig. 6
+// code-generation variant, with and without seeded chaos. Only once this
+// evidence exists (and stays in CI as the engine benchmark's baseline) can
+// the goroutine engine be deleted.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+
+	"procdecomp/internal/analysis"
+	"procdecomp/internal/exec"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/trace"
+	"procdecomp/internal/wavefront"
+)
+
+// EngineRun is one traced run's complete observable behavior: the machine's
+// statistics and the canonical trace dump (per-process event spans plus the
+// sorted wire stream).
+type EngineRun struct {
+	Stats machine.Stats
+	Dump  *analysis.Dump
+}
+
+// RunVariant executes one Fig. 6 configuration traced on the given machine
+// and captures everything observable about the run. The result matrix is not
+// re-validated here — the harness compares behavior, not answers (the
+// benchmark tests already pin the answers).
+func RunVariant(cfg machine.Config, v Variant, n, blk int64) (*EngineRun, error) {
+	tr := trace.New()
+	cfg.Tracer = tr
+	var stats machine.Stats
+	if v == Handwritten {
+		res, err := wavefront.Run(cfg, n, blk, Input(n))
+		if err != nil {
+			return nil, err
+		}
+		stats = res.Stats
+	} else {
+		progs, err := CompileGS(v, cfg.Procs, n, blk)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.RunSPMD(progs, cfg, map[string]*istruct.Matrix{"Old": Input(n)})
+		if err != nil {
+			return nil, err
+		}
+		stats = out.Stats
+	}
+	return &EngineRun{Stats: stats, Dump: analysis.NewDump(cfg, tr)}, nil
+}
+
+// CompareEngines runs one Fig. 6 configuration under both simulator cores
+// and reports the first observable divergence, if any.
+func CompareEngines(cfg machine.Config, v Variant, n, blk int64) error {
+	gcfg, ecfg := cfg, cfg
+	gcfg.Engine = machine.EngineGoroutine
+	ecfg.Engine = machine.EngineEvent
+	return CompareEngineConfigs(gcfg, ecfg, v, n, blk)
+}
+
+// CompareEngineConfigs runs the same Fig. 6 configuration on two explicit
+// machine calibrations and demands identical observable behavior. Callers
+// normally pass the same calibration with only Engine flipped; the harness's
+// self-test instead perturbs one cost table to prove a divergence as small
+// as one cycle is caught.
+func CompareEngineConfigs(cfgA, cfgB machine.Config, v Variant, n, blk int64) error {
+	a, err := RunVariant(cfgA, v, n, blk)
+	if err != nil {
+		return fmt.Errorf("bench: %s engine: %w", cfgA.Engine, err)
+	}
+	b, err := RunVariant(cfgB, v, n, blk)
+	if err != nil {
+		return fmt.Errorf("bench: %s engine: %w", cfgB.Engine, err)
+	}
+	return DiffRuns(cfgA.Engine.String(), a, cfgB.Engine.String(), b)
+}
+
+// DiffRuns compares two captured runs: Stats must be deeply equal and the
+// JSON-serialized dumps byte-identical. The dump comparison covers every
+// compute/send/recv/blocked span of every process and the canonically sorted
+// wire stream (time, src, dst, MsgSeq, attempt, kind), so any reordering,
+// re-stamping or re-numbering between the engines surfaces here.
+func DiffRuns(nameA string, a *EngineRun, nameB string, b *EngineRun) error {
+	if a.Stats.Makespan != b.Stats.Makespan {
+		return fmt.Errorf("bench: makespan diverges: %s %d, %s %d",
+			nameA, a.Stats.Makespan, nameB, b.Stats.Makespan)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		return fmt.Errorf("bench: stats diverge:\n  %s: %+v\n  %s: %+v",
+			nameA, a.Stats, nameB, b.Stats)
+	}
+	ja, err := json.Marshal(a.Dump)
+	if err != nil {
+		return err
+	}
+	jb, err := json.Marshal(b.Dump)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(ja, jb) {
+		return fmt.Errorf("bench: trace dumps diverge between %s and %s:\n%s", nameA, nameB, firstJSONDiff(ja, jb))
+	}
+	return nil
+}
+
+// firstJSONDiff renders a short window around the first differing byte, so a
+// dump divergence is diagnosable without dumping megabytes.
+func firstJSONDiff(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	window := func(s []byte) string {
+		lo, hi := i-60, i+60
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return string(s[lo:hi])
+	}
+	return fmt.Sprintf("  first divergence at byte %d:\n  ...%s...\n  ...%s...", i, window(a), window(b))
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"procdecomp/internal/analysis"
+	"procdecomp/internal/faults"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/trace"
+)
+
+// The tentpole's proof obligation: every Fig. 6 code-generation variant, at
+// S ∈ {1, 4, 8, 32}, with and without a seeded chaos schedule, behaves
+// bit-identically on the goroutine machine and the event-loop engine —
+// equal Stats (makespan, Breakdown, transport counters) and byte-for-byte
+// identical trace dumps including wire events and MsgSeq.
+func TestEnginesBitIdentical(t *testing.T) {
+	sizes := []struct {
+		procs int
+		n     int64
+	}{{1, 16}, {4, 24}, {8, 24}, {32, 48}}
+	for _, sz := range sizes {
+		for _, v := range AllVariants {
+			for _, chaotic := range []bool{false, true} {
+				sz, v, chaotic := sz, v, chaotic
+				t.Run(fmt.Sprintf("S%d/%v/chaos=%v", sz.procs, v, chaotic), func(t *testing.T) {
+					t.Parallel()
+					cfg := machine.DefaultConfig(sz.procs)
+					if chaotic {
+						cfg.Faults = faults.Chaos(42, 0.10)
+					}
+					if err := CompareEngines(cfg, v, sz.n, 4); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// runBody captures a raw machine body under one calibration, for the
+// differential cases the Fig. 6 matrix does not reach (placement,
+// bounded mailboxes, cost perturbations).
+func runBody(cfg machine.Config, body func(p *machine.Proc)) (*EngineRun, error) {
+	tr := trace.New()
+	cfg.Tracer = tr
+	m := machine.New(cfg)
+	if err := m.Run(body); err != nil {
+		return nil, err
+	}
+	st, err := m.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return &EngineRun{Stats: st, Dump: analysis.NewDump(cfg, tr)}, nil
+}
+
+func diffBody(t *testing.T, gcfg machine.Config, body func(p *machine.Proc)) error {
+	t.Helper()
+	ecfg := gcfg
+	gcfg.Engine = machine.EngineGoroutine
+	ecfg.Engine = machine.EngineEvent
+	g, err := runBody(gcfg, body)
+	if err != nil {
+		t.Fatalf("goroutine engine: %v", err)
+	}
+	e, err := runBody(ecfg, body)
+	if err != nil {
+		t.Fatalf("event engine: %v", err)
+	}
+	return DiffRuns("goroutine", g, "event", e)
+}
+
+// Multiplexed placement and bounded mailboxes exercise scheduling paths the
+// SPMD programs do not; the engines must agree there too.
+func TestEnginesAgreeOnMuxAndCaps(t *testing.T) {
+	ring := func(p *machine.Proc) {
+		right := (p.ID() + 1) % 6
+		left := (p.ID() + 5) % 6
+		for k := 0; k < 5; k++ {
+			p.Compute(machine.Cost(13*p.ID() + 7))
+			if p.ID()%2 == 0 {
+				p.Send(right, 1, float64(k))
+				p.Recv(left, 2)
+			} else {
+				p.Recv(left, 1)
+				p.Send(right, 2, float64(k))
+			}
+		}
+	}
+	mux := machine.DefaultConfig(6)
+	mux.Placement = []int{0, 1, 0, 1, 0, 1}
+	if err := diffBody(t, mux, ring); err != nil {
+		t.Errorf("multiplexed: %v", err)
+	}
+
+	capped := machine.DefaultConfig(2)
+	capped.MailboxCap = 2
+	if err := diffBody(t, capped, func(p *machine.Proc) {
+		if p.ID() == 0 {
+			for k := 0; k < 8; k++ {
+				p.Send(1, 1, float64(k))
+			}
+		} else {
+			p.Compute(5000)
+			for k := 0; k < 8; k++ {
+				p.Recv(0, 1)
+			}
+		}
+	}); err != nil {
+		t.Errorf("bounded mailboxes: %v", err)
+	}
+}
+
+// Failed runs are compared by error class: the goroutine engine races which
+// of several simultaneous failures wins, so only the classification is
+// stable across engines.
+func TestEnginesAgreeOnWatchdogClass(t *testing.T) {
+	sched := &faults.Schedule{Crash: map[int]uint64{0: 50}}
+	for _, engine := range []machine.Engine{machine.EngineGoroutine, machine.EngineEvent} {
+		cfg := machine.DefaultConfig(2)
+		cfg.Engine = engine
+		cfg.Faults = sched
+		m := machine.New(cfg)
+		err := m.Run(func(p *machine.Proc) {
+			if p.ID() == 0 {
+				p.Compute(1000)
+				p.Send(1, 5, 1.0)
+			} else {
+				p.Recv(0, 5)
+			}
+		})
+		if !errors.Is(err, machine.ErrRecvTimeout) {
+			t.Errorf("%s engine: err = %v, want recv timeout", engine, err)
+		}
+	}
+}
+
+// Harness self-test: a deliberately perturbed cost table must make the
+// comparison fail. One extra cycle of link latency moves the makespan by
+// exactly one unit on a single ping — the smallest divergence there is —
+// and the harness must catch it.
+func TestEngineDiffDetectsOneCycleDivergence(t *testing.T) {
+	ping := func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 1, 1.0)
+		} else {
+			p.Recv(0, 1)
+		}
+	}
+	gcfg := machine.DefaultConfig(2)
+	gcfg.Engine = machine.EngineGoroutine
+	ecfg := gcfg
+	ecfg.Engine = machine.EngineEvent
+
+	g, err := runBody(gcfg, ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := runBody(ecfg, ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffRuns("goroutine", g, "event", e); err != nil {
+		t.Fatalf("identical calibrations diverge: %v", err)
+	}
+
+	ecfg.Latency++
+	e2, err := runBody(ecfg, ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats.Makespan != g.Stats.Makespan+1 {
+		t.Fatalf("perturbed makespan %d, want exactly %d+1", e2.Stats.Makespan, g.Stats.Makespan)
+	}
+	err = DiffRuns("goroutine", g, "event", e2)
+	if err == nil {
+		t.Fatal("one-cycle makespan divergence went undetected")
+	}
+	if !strings.Contains(err.Error(), "makespan diverges") {
+		t.Errorf("divergence misreported: %v", err)
+	}
+}
+
+// Harness self-test at the Fig. 6 level: perturbing the cost table of one
+// side makes the full variant comparison fail.
+func TestEngineDiffDetectsPerturbedCostTable(t *testing.T) {
+	gcfg := machine.DefaultConfig(4)
+	gcfg.Engine = machine.EngineGoroutine
+	ecfg := gcfg
+	ecfg.Engine = machine.EngineEvent
+	ecfg.OpCost++
+	if err := CompareEngineConfigs(gcfg, ecfg, OptimizedIII, 16, 4); err == nil {
+		t.Fatal("perturbed cost table went undetected")
+	}
+}

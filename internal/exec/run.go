@@ -55,7 +55,11 @@ func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istru
 			if !ok {
 				return nil, fmt.Errorf("exec: no input supplied for parameter %s", prm.Name)
 			}
-			st.arrays[prm.Name] = scatter(g, prm.Dist, int64(i))
+			lp, serr := scatter(g, prm.Dist, int64(i))
+			if serr != nil {
+				return nil, fmt.Errorf("exec: parameter %s: %w", prm.Name, serr)
+			}
+			st.arrays[prm.Name] = lp
 		}
 	}
 
@@ -73,8 +77,12 @@ func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istru
 		return nil, err
 	}
 
+	stats, err := m.Stats()
+	if err != nil {
+		return nil, err
+	}
 	out := &SPMDOutcome{
-		Stats:   m.Stats(),
+		Stats:   stats,
 		Arrays:  map[string]*istruct.Matrix{},
 		Scalars: map[string]Value{},
 	}
@@ -102,12 +110,16 @@ func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istru
 	return out, nil
 }
 
-// scatter builds process p's local piece of a global input array.
-func scatter(g *istruct.Matrix, d dist.Dist, p int64) *istruct.Matrix {
+// scatter builds process p's local piece of a global input array. A mapping
+// that is inconsistent with the array — a degenerate local allocation, or a
+// local index outside it — is reported as an error naming the array, the
+// mapping, and the offending element, so callers (and ultimately
+// `pdrun -check`) can surface it instead of crashing on a raw panic.
+func scatter(g *istruct.Matrix, d dist.Dist, p int64) (*istruct.Matrix, error) {
 	ls := d.LocalShape()
 	local, err := istruct.NewMatrix(g.Name(), ls[0], ls[1])
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("scatter %s under %s: local allocation %v: %w", g.Name(), d, ls, err)
 	}
 	rows, cols := g.Rows(), g.Cols()
 	for i := int64(1); i <= rows; i++ {
@@ -122,11 +134,12 @@ func scatter(g *istruct.Matrix, d dist.Dist, p int64) *istruct.Matrix {
 			v, _ := g.Read(i, j)
 			l := d.Local([]int64{i, j})
 			if err := local.Write(l[0], l[1], v); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("scatter %s[%d,%d] under %s to process %d at local [%d,%d]: %w",
+					g.Name(), i, j, d, p, l[0], l[1], err)
 			}
 		}
 	}
-	return local
+	return local, nil
 }
 
 // gather reassembles a global array from the owners' local pieces. Vectors

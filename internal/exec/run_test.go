@@ -236,7 +236,10 @@ func TestScatterPartialInput(t *testing.T) {
 	g, _ := istruct.NewMatrix("In", 3, 3)
 	g.Write(1, 1, 5)
 	d := dist.NewCyclicCols(2, 3, 3)
-	local := scatter(g, d, 1) // owner of column 1 is process 1
+	local, err := scatter(g, d, 1) // owner of column 1 is process 1
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := d.Local([]int64{1, 1})
 	v, err := local.Read(l[0], l[1])
 	if err != nil || v != 5 {
@@ -244,5 +247,68 @@ func TestScatterPartialInput(t *testing.T) {
 	}
 	if local.Defined(2, 1) {
 		t.Error("scatter invented undefined elements")
+	}
+}
+
+// badAllocDist and badLocalDist wrap a sound decomposition with the two
+// failure shapes a malformed mapping can produce: a degenerate local
+// allocation, and a local index outside the allocation. scatter used to
+// panic on both — and since scattering happens before the machine run, the
+// panics escaped RunSPMD raw instead of surfacing as errors.
+
+type badAllocDist struct{ dist.Dist }
+
+func (badAllocDist) LocalShape() []int64 { return []int64{0, 0} }
+
+type badLocalDist struct{ dist.Dist }
+
+func (badLocalDist) Local(idx []int64) []int64 { return []int64{99, 99} }
+
+func scatterProg(d dist.Dist) *spmd.Program {
+	return &spmd.Program{
+		Name: "t", Proc: -1,
+		Params: []spmd.ArrayInfo{{Name: "In", Dist: d, GlobalShape: []int64{2, 2}}},
+		Arrays: map[string]spmd.ArrayInfo{"In": {Name: "In", Dist: d, GlobalShape: []int64{2, 2}}},
+	}
+}
+
+func TestScatterBadAllocationIsError(t *testing.T) {
+	g, _ := istruct.NewMatrix("In", 2, 2)
+	g.Write(1, 2, 1)
+	_, err := scatter(g, badAllocDist{dist.NewCyclicCols(2, 2, 2)}, 0)
+	if err == nil || !strings.Contains(err.Error(), "local allocation") {
+		t.Fatalf("err = %v, want local-allocation error", err)
+	}
+}
+
+func TestScatterBadLocalIndexIsError(t *testing.T) {
+	g, _ := istruct.NewMatrix("In", 2, 2)
+	g.Write(1, 2, 1) // owned by process 0 under cyclic_cols(S=2)
+	_, err := scatter(g, badLocalDist{dist.NewCyclicCols(2, 2, 2)}, 0)
+	if err == nil || !strings.Contains(err.Error(), "at local [99,99]") {
+		t.Fatalf("err = %v, want out-of-range local index error", err)
+	}
+}
+
+// Both scatter failure paths must come back from RunSPMD as errors naming
+// the parameter — the route `pdrun -check` reports — not as panics.
+func TestRunSPMDScatterErrorsSurface(t *testing.T) {
+	g, _ := istruct.NewMatrix("In", 2, 2)
+	g.Write(1, 2, 1)
+	for _, tc := range []struct {
+		name string
+		d    dist.Dist
+		want string
+	}{
+		{"degenerate allocation", badAllocDist{dist.NewCyclicCols(4, 2, 2)}, "local allocation"},
+		{"local index out of range", badLocalDist{dist.NewCyclicCols(4, 2, 2)}, "at local [99,99]"},
+	} {
+		_, err := RunSPMD([]*spmd.Program{scatterProg(tc.d)}, cfg4(), map[string]*istruct.Matrix{"In": g})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "parameter In") {
+			t.Errorf("%s: err = %v, want parameter name in message", tc.name, err)
+		}
 	}
 }

@@ -39,7 +39,7 @@ func TestMailboxCapBackpressure(t *testing.T) {
 	if want := []Value{0, 1, 2}; !reflect.DeepEqual(got, want) {
 		t.Errorf("received %v, want %v", got, want)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	// Send 1: 0..102, arrives 107. Send 2 waits for the first dequeue: the
 	// receiver computes to 1000, dequeues at 1012; sender blocked 102..1012,
 	// sends 1012..1114, arrives 1119. Send 3 waits for the second dequeue at
@@ -90,7 +90,7 @@ func TestMailboxCapUnboundedIdentical(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		return m.Stats()
+		return mustStats(t, m)
 	}
 	if z, big := run(0), run(100); !reflect.DeepEqual(z, big) {
 		t.Errorf("capacity 0 and never-binding capacity differ:\n%+v\n%+v", z, big)
@@ -156,7 +156,7 @@ func TestMailboxCapMux(t *testing.T) {
 		if err := m.VerifyTrace(); err != nil {
 			t.Errorf("multiplexed bounded trace does not reconcile: %v", err)
 		}
-		return m.Stats()
+		return mustStats(t, m)
 	}
 	if st1, st2 := run(), run(); !reflect.DeepEqual(st1, st2) {
 		t.Errorf("multiplexed bounded run not deterministic:\n%+v\n%+v", st1, st2)

@@ -1,0 +1,623 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"procdecomp/internal/trace"
+)
+
+// The discrete-event engine.
+//
+// The goroutine engine (the original core, kept behind Config.Engine) lets
+// every process goroutine run freely and serializes them with a mutex and
+// condition-variable broadcasts. That is semantically fine — the simulated
+// clocks are order-independent — but each message wakes every blocked
+// goroutine (a thundering herd that is O(procs) per event), so wall-clock
+// cost grows quadratically with machine size and a pdmap search pays real
+// scheduler overhead for every candidate run.
+//
+// This engine replaces the free-running goroutines with a single-threaded
+// discrete-event loop in virtual time:
+//
+//   - The event queue is a binary min-heap of runnable processes keyed by
+//     (clock, id) — process ids break virtual-time ties, which is the
+//     determinism rule. Each heap entry means "this process's next step is
+//     an event at its current virtual time".
+//   - Exactly one process executes at any instant. A process runs until its
+//     next step cannot proceed — a receive on an empty queue, a send on a
+//     full channel, or (under Placement) an action that must wait its
+//     conservative-admission turn — then parks and the loop pops the
+//     minimal (clock, id) process and resumes it.
+//   - Wake-ups are exact, not broadcast: the process whose step creates the
+//     awaited state (an enqueue for a parked receiver, a freed slot for a
+//     capacity-parked sender, a lost message or crash for a watchdogged
+//     receiver) moves exactly the affected process back into the heap.
+//
+// Processes keep the blocking Proc API (Compute/Send/Recv), so their stacks
+// have to live somewhere: each process still owns a goroutine, but it is a
+// coroutine, not a thread of execution — the loop and the processes hand a
+// single execution token around over unbuffered-in-effect channels, so no
+// two of them are ever runnable at once and no event-path state needs a
+// lock. The happens-before edges of the token handoffs are what make the
+// engine race-detector clean.
+//
+// Equivalence with the goroutine engine is exact, not approximate, and is
+// enforced by the differential harness in internal/bench:
+//
+//   - Direct mode: arrival stamps are computed at send time and each
+//     (src, tag) FIFO has a single sender, so any execution order that
+//     respects message availability yields bit-identical clocks, traces,
+//     and counters. The heap order is one such order.
+//   - Multiplexed mode: the goroutine engine admits the active process with
+//     the minimal (clock, id) key; parking on that exact rule reproduces the
+//     same admission sequence, and busyCore is shared code.
+//   - The reliable transport (transmitLocked), watchdog diagnosis
+//     (unsatisfiableLocked), backpressure arithmetic, and deadlock report
+//     (deadlockErrorLocked) are the same functions in both engines; their
+//     "Locked" suffix is satisfied here by the execution token.
+
+// Engine selects the simulation core (Config.Engine).
+type Engine uint8
+
+const (
+	// EngineEvent is the single-threaded discrete-event loop — the default.
+	EngineEvent Engine = iota
+	// EngineGoroutine is the original goroutines+condvar machine, retained
+	// as the differential-testing and benchmark baseline.
+	EngineGoroutine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineGoroutine:
+		return "goroutine"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+type evState uint8
+
+const (
+	evReady   evState = iota // in the run heap, waiting to be resumed
+	evRunning                // holds the execution token
+	evWaiting                // parked on a condition recorded in m.waiting
+	evDone                   // body returned or process unwound
+)
+
+// evLoop is the event engine's state. Everything here is touched only by
+// whichever goroutine holds the execution token (the loop or exactly one
+// process), so none of it is locked.
+type evLoop struct {
+	m *Machine
+	// resume[p] carries the token to process p; false means "unwind now".
+	resume []chan bool
+	// yield carries the token back to the loop; every resume is answered by
+	// exactly one yield (a park or a termination).
+	yield chan struct{}
+	state []evState
+	heap  []int32 // runnable pids, min-heap by (clock, id)
+	live  int     // processes not yet evDone
+}
+
+func newEvLoop(m *Machine) *evLoop {
+	ev := &evLoop{
+		m:      m,
+		resume: make([]chan bool, m.cfg.Procs),
+		yield:  make(chan struct{}, 1),
+		state:  make([]evState, m.cfg.Procs),
+		heap:   make([]int32, 0, m.cfg.Procs),
+	}
+	for i := range ev.resume {
+		ev.resume[i] = make(chan bool, 1)
+	}
+	return ev
+}
+
+// less orders heap entries by (clock, id) — the engine's tie-breaking rule.
+func (ev *evLoop) less(a, b int32) bool {
+	ca, cb := ev.m.procs[a].clock, ev.m.procs[b].clock
+	return ca < cb || (ca == cb && a < b)
+}
+
+func (ev *evLoop) push(pid int32) {
+	h := append(ev.heap, pid)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	ev.heap = h
+}
+
+func (ev *evLoop) pop() int32 {
+	h := ev.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && ev.less(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && ev.less(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	ev.heap = h
+	return top
+}
+
+// ready moves a parked process into the run heap. Callers have already
+// checked the process is evWaiting and its awaited condition now holds; its
+// m.waiting entry stays until the process itself deletes it on resume, which
+// is why every wake predicate also checks the state.
+func (ev *evLoop) ready(pid int) {
+	ev.state[pid] = evReady
+	ev.push(int32(pid))
+}
+
+// park hands the token back to the loop and blocks until resumed. The caller
+// has already recorded why it is parked (state + m.waiting, or a heap entry
+// for a conservative-admission wait). A false resume means the run is being
+// torn down: unwind without touching any clocks.
+func (ev *evLoop) park(p *Proc) {
+	ev.yield <- struct{}{}
+	if !<-ev.resume[p.id] {
+		panic(errAborted)
+	}
+}
+
+// main is the body wrapper of one process coroutine. Its recover
+// classification is the same as the goroutine engine's Run defer; the one
+// addition is the crash wake-up, which replaces the old engine's broadcast:
+// receivers blocked on the crashed process must learn their receive became
+// unsatisfiable.
+func (ev *evLoop) main(p *Proc, body func(p *Proc)) {
+	defer func() {
+		m := ev.m
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+				// Secondary abort; keep the original failure.
+			} else if cs, ok := r.(crashStop); ok {
+				// A fault-scheduled crash-stop: the process dies silently,
+				// like a failed node. The run is not aborted — peers that
+				// depended on it surface watchdog or deadlock errors.
+				m.crashed[cs.proc] = true
+				ev.wakeCrashed(cs.proc)
+			} else if m.failed == nil {
+				m.failed = fmt.Errorf("machine: process %d failed: %v", p.id, r)
+			}
+		}
+		ev.state[p.id] = evDone
+		ev.live--
+		ev.yield <- struct{}{}
+	}()
+	if !<-ev.resume[p.id] {
+		panic(errAborted)
+	}
+	body(p)
+}
+
+// runEvent is Machine.Run on the event engine: the event loop itself.
+func (m *Machine) runEvent(body func(p *Proc)) error {
+	m.mu.Lock()
+	m.running = true
+	m.mu.Unlock()
+
+	ev := m.ev
+	ev.live = m.cfg.Procs
+	for _, p := range m.procs {
+		ev.state[p.id] = evReady
+		ev.push(int32(p.id))
+		go ev.main(p, body)
+	}
+	for ev.live > 0 {
+		if len(ev.heap) == 0 {
+			// Quiescence: every live process is parked in m.waiting. Diagnose
+			// (watchdog first, deadlock otherwise — the same order as the
+			// goroutine engine's checkDeadlockLocked) and tear down.
+			if m.failed == nil && !ev.quiesce() {
+				continue // a defensive wake found runnable work
+			}
+			ev.abortWaiting()
+			continue
+		}
+		pid := ev.pop()
+		ev.state[pid] = evRunning
+		ev.resume[pid] <- true
+		<-ev.yield
+	}
+
+	m.mu.Lock()
+	m.running = false
+	m.mu.Unlock()
+	return m.failed
+}
+
+// quiesce diagnoses a run where no process can step: prefer the watchdog
+// (scanning in process order, so the reported receive is deterministic),
+// fall back to the deadlock report. It returns false — without setting a
+// failure — if some parked process turns out to be satisfiable after all;
+// that cannot happen if the wake rules are complete, but handling it keeps
+// the engine live rather than deadlocking the host on a missed wake.
+func (ev *evLoop) quiesce() bool {
+	m := ev.m
+	for pid := 0; pid < m.cfg.Procs; pid++ {
+		if ev.state[pid] != evWaiting {
+			continue
+		}
+		wi := m.waiting[pid]
+		if wi.send {
+			if uint64(len(m.links[pid][wi.dst].freed)) > wi.idx {
+				ev.ready(pid)
+				return false
+			}
+		} else if len(m.boxes[pid][wi.k]) > 0 {
+			ev.ready(pid)
+			return false
+		}
+	}
+	for pid := 0; pid < m.cfg.Procs; pid++ {
+		if ev.state[pid] != evWaiting {
+			continue
+		}
+		wi := m.waiting[pid]
+		if wi.send {
+			continue
+		}
+		if reason := m.unsatisfiableLocked(pid, wi.k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: pid, Src: wi.k.src, Tag: wi.k.tag,
+				Clock: m.procs[pid].clock, Reason: reason}
+			return true
+		}
+	}
+	m.failed = m.deadlockErrorLocked()
+	return true
+}
+
+// abortWaiting unwinds every parked process after a failure: each gets a
+// false resume, panics errAborted up its own stack (running its defers), and
+// yields back from its termination. Ready processes need no special
+// handling — the loop keeps resuming them and they die at their next machine
+// action (or finish cleanly, as in the goroutine engine).
+func (ev *evLoop) abortWaiting() {
+	for pid := range ev.state {
+		if ev.state[pid] != evWaiting {
+			continue
+		}
+		ev.state[pid] = evRunning
+		ev.resume[pid] <- false
+		<-ev.yield
+	}
+}
+
+// Exact wake-ups. Each is called by the running process at the moment it
+// creates the awaited state; the predicates mirror the conditions the woken
+// process will re-check, so a wake is never wasted (the one exception is a
+// capacity wake, where the waiter re-derives its slot index).
+
+// wakeRecv readies dst if it is parked receiving exactly k.
+func (ev *evLoop) wakeRecv(dst int, k key) {
+	if ev.state[dst] != evWaiting {
+		return
+	}
+	if wi, ok := ev.m.waiting[dst]; ok && !wi.send && wi.k == k {
+		ev.ready(dst)
+	}
+}
+
+// wakeLoss readies dst if it is parked receiving from src on any tag: a
+// lost-forever message killed the src→dst link, so the watchdog must run at
+// the receiver (the goroutine engine broadcast here).
+func (ev *evLoop) wakeLoss(dst, src int) {
+	if ev.state[dst] != evWaiting {
+		return
+	}
+	if wi, ok := ev.m.waiting[dst]; ok && !wi.send && wi.k.src == src {
+		ev.ready(dst)
+	}
+}
+
+// wakeCap readies src if it is parked sending to dst and its awaited slot
+// has been freed.
+func (ev *evLoop) wakeCap(src, dst int) {
+	if ev.state[src] != evWaiting {
+		return
+	}
+	m := ev.m
+	if wi, ok := m.waiting[src]; ok && wi.send && wi.dst == dst &&
+		uint64(len(m.links[src][dst].freed)) > wi.idx {
+		ev.ready(src)
+	}
+}
+
+// wakeCrashed readies every process parked receiving from the crashed
+// process, in pid order; each will fail its watchdog check when it runs.
+func (ev *evLoop) wakeCrashed(src int) {
+	m := ev.m
+	for pid := 0; pid < m.cfg.Procs; pid++ {
+		if ev.state[pid] != evWaiting {
+			continue
+		}
+		if wi, ok := m.waiting[pid]; ok && !wi.send && wi.k.src == src {
+			ev.ready(pid)
+		}
+	}
+}
+
+// admit parks p until it holds the minimal (clock, id) key among runnable
+// processes — the event engine's half of the conservative admission rule
+// used under Placement (the goroutine engine's acquireLocked). Processes
+// parked in m.waiting are not runnable and do not gate admission, exactly as
+// muxWaiting processes do not in myTurnLocked.
+func (p *Proc) admit() {
+	ev := p.m.ev
+	for {
+		if p.m.failed != nil {
+			panic(errAborted)
+		}
+		if len(ev.heap) == 0 || !ev.less(ev.heap[0], int32(p.id)) {
+			return
+		}
+		ev.state[p.id] = evReady
+		ev.push(int32(p.id))
+		ev.park(p)
+	}
+}
+
+// evSend is Proc.Send on the event engine (direct mode). The virtual-time
+// arithmetic is copied line for line from Send/faultySend; only the
+// synchronization differs (exact wakes instead of mutex+broadcast).
+func (p *Proc) evSend(dst int, tag int64, vals []Value) {
+	m := p.m
+	cfg := &m.cfg
+	if m.faultive() {
+		if m.failed != nil {
+			panic(errAborted)
+		}
+		p.evCapWait(dst)
+	}
+	p.msgSeq++
+	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	start := p.clock
+	p.clock += over
+	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: start, End: p.clock,
+			Peer: dst, Tag: tag, Values: len(vals), Seq: p.msgSeq})
+	}
+	arrive, ok := p.clock+cfg.Latency, true
+	if cfg.Faults != nil {
+		arrive, ok = m.transmitLocked(p, dst, tag, len(vals), p.clock)
+	}
+	if m.failed != nil {
+		panic(errAborted)
+	}
+	m.msgs++
+	m.vals += int64(len(vals))
+	if !ok {
+		// Lost forever: nothing arrives, but a receiver blocked on this link
+		// must wake and run its watchdog check.
+		m.ev.wakeLoss(dst, p.id)
+		return
+	}
+	k := key{src: p.id, tag: tag}
+	m.boxes[dst][k] = append(m.boxes[dst][k],
+		message{vals: append([]Value(nil), vals...), arrive: arrive, seq: p.msgSeq})
+	if m.faultive() {
+		m.links[p.id][dst].sent++
+	}
+	m.ev.wakeRecv(dst, k)
+}
+
+// evCapWait is capWaitLocked on the event engine: park until the awaited
+// slot frees, then adopt its virtual time.
+func (p *Proc) evCapWait(dst int) {
+	m := p.m
+	capN := uint64(m.cfg.MailboxCap)
+	if capN == 0 {
+		return
+	}
+	ls := &m.links[p.id][dst]
+	if ls.sent < capN {
+		return
+	}
+	idx := ls.sent - capN
+	ev := m.ev
+	for uint64(len(ls.freed)) <= idx {
+		if m.failed != nil {
+			panic(errAborted)
+		}
+		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
+		ev.state[p.id] = evWaiting
+		ev.park(p)
+		delete(m.waiting, p.id)
+	}
+	if freeAt := ls.freed[idx]; freeAt > p.clock {
+		if t := m.cfg.Tracer; t != nil {
+			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindBlocked, Start: p.clock, End: freeAt, Peer: dst})
+		}
+		p.idle += freeAt - p.clock
+		p.clock = freeAt
+	}
+}
+
+// evRecv is Proc.Recv on the event engine (direct mode).
+func (p *Proc) evRecv(src int, tag int64) []Value {
+	m := p.m
+	ev := m.ev
+	k := key{src: src, tag: tag}
+	for len(m.boxes[p.id][k]) == 0 {
+		if m.failed != nil {
+			panic(errAborted)
+		}
+		// The watchdog: a receive that can be proven unsatisfiable fails
+		// now, at the receiver's virtual time.
+		if reason := m.unsatisfiableLocked(p.id, k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: p.id, Src: src, Tag: tag, Clock: p.clock, Reason: reason}
+			panic(errAborted)
+		}
+		m.waiting[p.id] = waitInfo{k: k}
+		ev.state[p.id] = evWaiting
+		ev.park(p)
+		delete(m.waiting, p.id)
+	}
+	q := m.boxes[p.id][k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.boxes[p.id], k)
+	} else {
+		m.boxes[p.id][k] = q[1:]
+	}
+	vals := p.finishRecv(msg, src, tag)
+	if m.cfg.MailboxCap > 0 {
+		// Free the channel slot at the receiver's post-overhead clock and
+		// wake a sender parked on it.
+		m.links[src][p.id].freed = append(m.links[src][p.id].freed, p.clock)
+		ev.wakeCap(src, p.id)
+	}
+	return vals
+}
+
+// evMuxCompute is Proc.Compute under Placement on the event engine.
+func (p *Proc) evMuxCompute(c Cost) {
+	p.admit()
+	m := p.m
+	m.sched.busyCore(p, c)
+	p.compute += c
+	if t := m.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindCompute, Start: p.clock - c, End: p.clock, Peer: -1})
+	}
+}
+
+// evMuxSend is Proc.Send under Placement on the event engine.
+func (p *Proc) evMuxSend(dst int, tag int64, vals []Value) {
+	m := p.m
+	cfg := &m.cfg
+	if cfg.MailboxCap > 0 {
+		p.evMuxCapWait(dst)
+	} else {
+		p.admit()
+	}
+	p.msgSeq++
+	over := cfg.SendStartup + Cost(len(vals))*cfg.PerValue
+	m.sched.busyCore(p, over)
+	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindSend, Start: p.clock - over, End: p.clock,
+			Peer: dst, Tag: tag, Values: len(vals), Seq: p.msgSeq})
+	}
+	arrive, ok := p.clock+cfg.Latency, true
+	if cfg.Faults != nil {
+		arrive, ok = m.transmitLocked(p, dst, tag, len(vals), p.clock)
+	}
+	m.msgs++
+	m.vals += int64(len(vals))
+	if !ok {
+		m.ev.wakeLoss(dst, p.id)
+		return
+	}
+	k := key{src: p.id, tag: tag}
+	m.boxes[dst][k] = append(m.boxes[dst][k],
+		message{vals: append([]Value(nil), vals...), arrive: arrive, seq: p.msgSeq})
+	if m.faultive() {
+		m.links[p.id][dst].sent++
+	}
+	// The goroutine engine reactivates a receiver parked on exactly this
+	// message atomically with the send; the exact wake is the same rule.
+	m.ev.wakeRecv(dst, k)
+}
+
+// evMuxCapWait is muxCapWaitLocked on the event engine: admission and a free
+// slot are acquired together, re-admitting after every park.
+func (p *Proc) evMuxCapWait(dst int) {
+	m := p.m
+	ev := m.ev
+	capN := uint64(m.cfg.MailboxCap)
+	ls := &m.links[p.id][dst]
+	for {
+		p.admit()
+		if ls.sent < capN {
+			return
+		}
+		idx := ls.sent - capN
+		if uint64(len(ls.freed)) > idx {
+			if freeAt := ls.freed[idx]; freeAt > p.clock {
+				if t := m.cfg.Tracer; t != nil {
+					t.Emit(trace.Event{Proc: p.id, Kind: trace.KindBlocked, Start: p.clock, End: freeAt, Peer: dst})
+				}
+				p.idle += freeAt - p.clock
+				p.clock = freeAt
+			}
+			return
+		}
+		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
+		ev.state[p.id] = evWaiting
+		ev.park(p)
+		delete(m.waiting, p.id)
+	}
+}
+
+// evMuxRecv is Proc.Recv under Placement on the event engine.
+func (p *Proc) evMuxRecv(src int, tag int64) []Value {
+	m := p.m
+	cfg := &m.cfg
+	ev := m.ev
+	k := key{src: src, tag: tag}
+	for {
+		p.admit()
+		if len(m.boxes[p.id][k]) > 0 {
+			break
+		}
+		if reason := m.unsatisfiableLocked(p.id, k); reason != "" {
+			m.failed = &RecvTimeoutError{Proc: p.id, Src: src, Tag: tag, Clock: p.clock, Reason: reason}
+			panic(errAborted)
+		}
+		m.waiting[p.id] = waitInfo{k: k}
+		ev.state[p.id] = evWaiting
+		ev.park(p)
+		delete(m.waiting, p.id)
+	}
+	q := m.boxes[p.id][k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.boxes[p.id], k)
+	} else {
+		m.boxes[p.id][k] = q[1:]
+	}
+	if msg.arrive > p.clock {
+		if t := cfg.Tracer; t != nil {
+			t.Emit(trace.Event{Proc: p.id, Kind: trace.KindIdle, Start: p.clock, End: msg.arrive,
+				Peer: src, Tag: tag, Seq: msg.seq, Arrive: msg.arrive})
+		}
+		p.idle += msg.arrive - p.clock
+		p.clock = msg.arrive // waiting: no CPU charged
+	}
+	over := cfg.RecvStartup + Cost(len(msg.vals))*cfg.PerValue
+	m.sched.busyCore(p, over)
+	p.comm += over
+	if t := cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Proc: p.id, Kind: trace.KindRecv, Start: p.clock - over, End: p.clock,
+			Peer: src, Tag: tag, Values: len(msg.vals), Seq: msg.seq, Arrive: msg.arrive})
+	}
+	if cfg.MailboxCap > 0 {
+		m.links[src][p.id].freed = append(m.links[src][p.id].freed, p.clock)
+		ev.wakeCap(src, p.id)
+	}
+	return msg.vals
+}

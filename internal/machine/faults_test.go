@@ -46,7 +46,7 @@ func runChain(t *testing.T, cfg Config, rounds int) ([]Value, Stats) {
 	if err := m.Run(chainBody(rounds, &out)); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
-	return out, m.Stats()
+	return out, mustStats(t, m)
 }
 
 // TestFaultsSameResultsUnderChaos is the tentpole guarantee: a seeded chaos
@@ -123,7 +123,7 @@ func TestFaultsDuplicatesSuppressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Makespan != 169 {
 		t.Errorf("makespan = %d, want 169 (duplicates must not delay delivery)", st.Makespan)
 	}
@@ -190,7 +190,7 @@ func TestFaultsLinkDownWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	// Send overhead ends at 102; attempts depart at 102, 166, 294, 550, 1062,
 	// 2086, 4134 (all inside the window) and 8230 (outside). Arrival 8235,
 	// receive overhead 12 -> 8247.
@@ -214,7 +214,7 @@ func TestFaultsSlowdownScalesCompute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.ProcTimes[0] != 200 || st.ProcTimes[1] != 100 {
 		t.Errorf("proc times = %v, want [200 100]", st.ProcTimes)
 	}
@@ -276,7 +276,7 @@ func TestFaultsLostForeverWatchdog(t *testing.T) {
 	if !strings.Contains(msg, "(src 0, tag 7)") || !strings.Contains(msg, "lost forever") {
 		t.Errorf("error %q does not name the blocked receive and the loss", msg)
 	}
-	if st := m.Stats(); st.Lost != 2 {
+	if st := mustStats(t, m); st.Lost != 2 {
 		t.Errorf("lost = %d, want 2 (second send on the dead link is lost too)", st.Lost)
 	}
 }
@@ -297,7 +297,7 @@ func TestFaultsWireTrace(t *testing.T) {
 	if err := m.VerifyTrace(); err != nil {
 		t.Errorf("trace does not reconcile under faults: %v", err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	counts := log.WireCounts()
 	if counts[trace.WireDeliver] != st.Messages {
 		t.Errorf("wire deliveries = %d, want %d (one per message)", counts[trace.WireDeliver], st.Messages)
@@ -342,7 +342,7 @@ func TestFaultsMuxPlacement(t *testing.T) {
 		if err := m.VerifyTrace(); err != nil {
 			t.Errorf("multiplexed chaos trace does not reconcile: %v", err)
 		}
-		return out, m.Stats()
+		return out, mustStats(t, m)
 	}
 	got1, st1 := run()
 	got2, st2 := run()

@@ -4,17 +4,27 @@
 // binary — local access is more efficient than non-local access, but all
 // non-local accesses are equally expensive."
 //
-// Each simulated processor runs as a goroutine and carries a virtual clock
-// measured in abstract cycles. Compute advances the clock; Send charges the
-// sender a start-up cost plus a per-value packing cost and stamps the message
-// with its wire-arrival time; Recv waits for the matching (source, tag) FIFO,
-// advances the receiver's clock to the arrival stamp if it was earlier, and
-// charges an unpacking cost. Because processes interact only through these
+// Each simulated processor carries a virtual clock measured in abstract
+// cycles. Compute advances the clock; Send charges the sender a start-up cost
+// plus a per-value packing cost and stamps the message with its wire-arrival
+// time; Recv waits for the matching (source, tag) FIFO, advances the
+// receiver's clock to the arrival stamp if it was earlier, and charges an
+// unpacking cost. Because processes interact only through these
 // point-to-point FIFOs and every receive names its source and tag, the
 // simulated clocks and delivered values are deterministic regardless of Go
 // scheduling. The execution time of a run is the makespan — the maximum
 // final clock over all processors — which is what the paper's Figures 6 and
 // 7 plot against the number of processors.
+//
+// Two simulation cores implement these semantics (Config.Engine). The
+// default, EngineEvent, is a single-threaded discrete-event loop (event.go):
+// at most one process executes at any instant, and a (clock, id) priority
+// queue of runnable processes decides who steps next, so a run costs no lock
+// contention and no broadcast wake-ups. EngineGoroutine is the original
+// machine — one free-running goroutine per process, a mutex around the
+// mailboxes, and condition-variable broadcasts — kept as the baseline the
+// event loop is differentially tested and benchmarked against
+// (internal/bench). Both engines produce bit-identical virtual-time results.
 package machine
 
 import (
@@ -85,6 +95,13 @@ type Config struct {
 	// 0 (the default) keeps channels unbounded, preserving the iPSC's
 	// never-blocking csend semantics.
 	MailboxCap int
+	// Engine selects the simulation core. The zero value, EngineEvent, is
+	// the single-threaded discrete-event loop; EngineGoroutine is the
+	// original goroutines+condvar machine, retained as the differential-
+	// testing and benchmark baseline (internal/bench's engine diff harness
+	// proves the two bit-identical). Both produce identical virtual-time
+	// results; they differ only in wall-clock cost.
+	Engine Engine
 }
 
 // DefaultConfig returns the iPSC/2-flavoured calibration used by the paper
@@ -209,6 +226,7 @@ type Machine struct {
 	retries, dups, lostCount int64
 	procs                    []*Proc
 	sched                    *muxSched // nil unless Config.Placement multiplexes processes
+	ev                       *evLoop   // nil unless Config.Engine is EngineEvent
 }
 
 // ErrDeadlock is returned by Run when every live process is blocked in Recv
@@ -226,6 +244,12 @@ var ErrRecvTimeout = errors.New("machine: receive watchdog timeout")
 // errAborted interrupts processes blocked in Recv after another process
 // failed; Run reports the original failure.
 var errAborted = errors.New("machine: run aborted")
+
+// ErrRunInProgress is returned by Stats when called while Run is still in
+// progress: the per-process clocks and time partitions are written lock-free
+// by the process goroutines, and the only happens-before edge making them
+// readable is Run returning, so a mid-run snapshot would be torn.
+var ErrRunInProgress = errors.New("machine: Stats called while Run is in progress; per-process clocks are only readable after Run returns")
 
 // New creates a machine with the given configuration.
 func New(cfg Config) *Machine {
@@ -258,6 +282,14 @@ func New(cfg Config) *Machine {
 		}
 		m.sched = sched
 	}
+	switch cfg.Engine {
+	case EngineEvent:
+		m.ev = newEvLoop(m)
+	case EngineGoroutine:
+		// The legacy core needs no extra state.
+	default:
+		panic(fmt.Sprintf("machine: unknown engine %d", cfg.Engine))
+	}
 	if cfg.Tracer != nil {
 		cfg.Tracer.Begin(cfg.Procs, cfg.Placement)
 	}
@@ -271,6 +303,9 @@ func (m *Machine) Config() Config { return m.cfg }
 // processes to finish. A panic in any process (an I-structure error, for
 // example) aborts the run and is returned as an error, as is deadlock.
 func (m *Machine) Run(body func(p *Proc)) error {
+	if m.ev != nil {
+		return m.runEvent(body)
+	}
 	m.mu.Lock()
 	m.active = m.cfg.Procs
 	m.running = true
@@ -362,12 +397,13 @@ func (m *Machine) checkDeadlockLocked() {
 // Run is in progress: the per-process clocks and time partitions are written
 // lock-free by the process goroutines (single writer each), and the only
 // happens-before edge making them readable is Run returning. A mid-run call
-// would be a data race, so Stats panics instead of returning torn values.
-func (m *Machine) Stats() Stats {
+// would be a data race, so Stats reports ErrRunInProgress instead of
+// returning torn values.
+func (m *Machine) Stats() (Stats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.running {
-		panic("machine: Stats called while Run is in progress; per-process clocks are only readable after Run returns")
+		return Stats{}, ErrRunInProgress
 	}
 	s := Stats{
 		Messages:   m.msgs,
@@ -386,7 +422,7 @@ func (m *Machine) Stats() Stats {
 			s.Makespan = p.clock
 		}
 	}
-	return s
+	return s, nil
 }
 
 // VerifyTrace reconciles the run's event log against its Breakdown: for every
@@ -398,7 +434,10 @@ func (m *Machine) VerifyTrace() error {
 	if t == nil {
 		return nil
 	}
-	s := m.Stats()
+	s, err := m.Stats()
+	if err != nil {
+		return err
+	}
 	for i, b := range s.Breakdown {
 		if err := t.Reconcile(i, b.Compute, b.Comm, b.Idle, s.ProcTimes[i]); err != nil {
 			return fmt.Errorf("machine: trace does not reconcile with Breakdown: %w", err)
@@ -441,7 +480,11 @@ func (p *Proc) Compute(c Cost) {
 		c = Cost(f.ScaleCompute(p.id, uint64(c)))
 	}
 	if p.m.sched != nil {
-		p.muxCompute(c)
+		if p.m.ev != nil {
+			p.evMuxCompute(c)
+		} else {
+			p.muxCompute(c)
+		}
 		return
 	}
 	start := p.clock
@@ -471,10 +514,18 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	}
 	p.checkCrash()
 	if p.m.sched != nil {
-		p.muxSend(dst, tag, vals)
+		if p.m.ev != nil {
+			p.evMuxSend(dst, tag, vals)
+		} else {
+			p.muxSend(dst, tag, vals)
+		}
 		return
 	}
 	m := p.m
+	if m.ev != nil {
+		p.evSend(dst, tag, vals)
+		return
+	}
 	if m.faultive() {
 		p.faultySend(dst, tag, vals)
 		return
@@ -553,9 +604,15 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 	}
 	p.checkCrash()
 	if p.m.sched != nil {
+		if p.m.ev != nil {
+			return p.evMuxRecv(src, tag)
+		}
 		return p.muxRecv(src, tag)
 	}
 	m := p.m
+	if m.ev != nil {
+		return p.evRecv(src, tag)
+	}
 	k := key{src: src, tag: tag}
 	m.mu.Lock()
 	for len(m.boxes[p.id][k]) == 0 {

@@ -14,6 +14,16 @@ func testConfig(procs int) Config {
 	}
 }
 
+// mustStats fetches Stats after Run has returned, failing the test on error.
+func mustStats(t *testing.T, m *Machine) Stats {
+	t.Helper()
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestPingTiming(t *testing.T) {
 	m := New(testConfig(2))
 	var recvClock Cost
@@ -38,7 +48,7 @@ func TestPingTiming(t *testing.T) {
 	if recvClock != 169 {
 		t.Errorf("receiver clock = %d, want 169", recvClock)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Messages != 1 || st.Values != 1 || st.Bytes != 4 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -171,7 +181,7 @@ func TestRingDeterministicTiming(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		return m.Stats().Makespan
+		return mustStats(t, m).Makespan
 	}
 	first := run()
 	for i := 0; i < 20; i++ {
@@ -198,7 +208,7 @@ func TestManyToOneCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Messages != procs-1 {
 		t.Errorf("messages = %d, want %d", st.Messages, procs-1)
 	}
@@ -227,7 +237,7 @@ func TestMakespanIsMaxClock(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Makespan != 3000 {
 		t.Errorf("makespan = %d, want 3000", st.Makespan)
 	}
@@ -320,7 +330,7 @@ func TestBreakdownAccountsEveryCycle(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	for i, b := range st.Breakdown {
 		if b.Compute+b.Comm+b.Idle != st.ProcTimes[i] {
 			t.Errorf("proc %d: %d + %d + %d != clock %d",
@@ -332,40 +342,39 @@ func TestBreakdownAccountsEveryCycle(t *testing.T) {
 	}
 }
 
-// Stats must refuse to run mid-run: the per-process clocks are written
+// Stats must refuse to report mid-run: the per-process clocks are written
 // lock-free by the process goroutines, so a concurrent snapshot would be a
-// data race returning torn values. (This call used to race; under the guard
-// it panics deterministically, and `go test -race` keeps it honest.)
-func TestStatsDuringRunPanics(t *testing.T) {
-	m := New(testConfig(2))
-	inBody := make(chan struct{})
-	release := make(chan struct{})
-	done := make(chan error, 1)
-	go func() {
-		done <- m.Run(func(p *Proc) {
-			if p.ID() == 0 {
-				close(inBody)
-			}
-			<-release
-			p.Compute(10)
-		})
-	}()
-	<-inBody
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("Stats during Run did not panic")
-			}
+// data race returning torn values. (This call used to panic; it now returns
+// the typed ErrRunInProgress, and `go test -race` keeps the guard honest.)
+func TestStatsDuringRunReturnsError(t *testing.T) {
+	for _, engine := range []Engine{EngineEvent, EngineGoroutine} {
+		cfg := testConfig(2)
+		cfg.Engine = engine
+		m := New(cfg)
+		inBody := make(chan struct{})
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- m.Run(func(p *Proc) {
+				if p.ID() == 0 {
+					close(inBody)
+				}
+				<-release
+				p.Compute(10)
+			})
 		}()
-		m.Stats()
-	}()
-	close(release)
-	if err := <-done; err != nil {
-		t.Fatal(err)
-	}
-	// After Run returns, Stats is safe again.
-	if st := m.Stats(); st.Makespan != 10 {
-		t.Errorf("makespan = %d, want 10", st.Makespan)
+		<-inBody
+		if _, err := m.Stats(); !errors.Is(err, ErrRunInProgress) {
+			t.Errorf("%v: Stats during Run: err = %v, want ErrRunInProgress", engine, err)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		// After Run returns, Stats is safe again.
+		if st := mustStats(t, m); st.Makespan != 10 {
+			t.Errorf("%v: makespan = %d, want 10", engine, st.Makespan)
+		}
 	}
 }
 
@@ -381,7 +390,7 @@ func TestIdleMeasuresWaiting(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	b := m.Stats().Breakdown[1]
+	b := mustStats(t, m).Breakdown[1]
 	if b.Idle < 10000 {
 		t.Errorf("receiver idle = %d, want >= 10000", b.Idle)
 	}

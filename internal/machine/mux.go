@@ -115,6 +115,15 @@ func (s *muxSched) acquireLocked(p *Proc) {
 // it) is charged to its idle account — every cycle of the final clock must be
 // compute, comm, or idle — and traced as a blocked span.
 func (s *muxSched) busyLocked(p *Proc, c Cost) {
+	s.busyCore(p, c)
+	s.m.cond.Broadcast()
+}
+
+// busyCore is the engine-independent node-CPU accounting of busyLocked: both
+// engines charge contention gaps and advance the node clock with exactly this
+// arithmetic, which is what keeps their blocked spans bit-identical. The
+// event engine calls it directly (no condvar to broadcast on).
+func (s *muxSched) busyCore(p *Proc, c Cost) {
 	n := s.node[p.id]
 	start := p.clock
 	if s.nodes[n] > start {
@@ -128,7 +137,6 @@ func (s *muxSched) busyLocked(p *Proc, c Cost) {
 	}
 	p.clock = start + c
 	s.nodes[n] = p.clock
-	s.m.cond.Broadcast()
 }
 
 // muxCompute is Proc.Compute under multiplexing.

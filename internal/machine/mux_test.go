@@ -30,7 +30,7 @@ func TestMuxIdentityMatchesDirect(t *testing.T) {
 	if err := mux.Run(body); err != nil {
 		t.Fatal(err)
 	}
-	ds, ms := direct.Stats(), mux.Stats()
+	ds, ms := mustStats(t, direct), mustStats(t, mux)
 	if ds.Makespan != ms.Makespan {
 		t.Errorf("makespan %d != %d", ms.Makespan, ds.Makespan)
 	}
@@ -57,7 +57,7 @@ func TestMuxSerializesCompute(t *testing.T) {
 	if len(nodes) != 1 || nodes[0] != 2000 {
 		t.Errorf("node times = %v, want [2000]", nodes)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Makespan != 2000 {
 		t.Errorf("makespan = %d, want 2000", st.Makespan)
 	}
@@ -84,7 +84,7 @@ func TestMuxLatencyHiding(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	// Process 1's 5000 cycles fully overlap process 0's wait: node 0's
 	// clock stays near the message arrival, not near wait+5000.
 	arrival := Cost(5000) + testConfig(3).SendStartup + 2 + testConfig(3).Latency
@@ -120,7 +120,7 @@ func TestMuxDeterministic(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		return m.Stats().ProcTimes
+		return mustStats(t, m).ProcTimes
 	}
 	first := run()
 	for trial := 0; trial < 15; trial++ {

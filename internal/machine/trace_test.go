@@ -79,7 +79,7 @@ func TestTraceReconcilesDirect(t *testing.T) {
 	if err := m.VerifyTrace(); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	for i, b := range st.Breakdown {
 		s := tr.Sums(i)
 		if s.Compute != b.Compute || s.Comm != b.Comm || s.Idle+s.Blocked != b.Idle {
@@ -117,7 +117,7 @@ func TestTraceMuxBlockedSpan(t *testing.T) {
 	if evs[1].Kind != trace.KindCompute || evs[1].Start != 1000 || evs[1].End != 2000 {
 		t.Errorf("compute span = %+v, want [1000,2000)", evs[1])
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if st.Breakdown[1].Idle != 1000 {
 		t.Errorf("proc 1 idle = %d, want 1000 (CPU wait must be accounted)", st.Breakdown[1].Idle)
 	}
@@ -143,7 +143,7 @@ func TestMuxBreakdownAccountsEveryCycle(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	var contended bool
 	for i, b := range st.Breakdown {
 		if b.Compute+b.Comm+b.Idle != st.ProcTimes[i] {
@@ -185,7 +185,7 @@ func TestTraceMuxReconcilesDeterministically(t *testing.T) {
 		if err := m.VerifyTrace(); err != nil {
 			t.Fatal(err)
 		}
-		return m.Stats().ProcTimes, tr
+		return mustStats(t, m).ProcTimes, tr
 	}
 	clocks, first := run()
 	_ = clocks
@@ -224,7 +224,7 @@ func TestTraceMatrixMatchesStats(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := mustStats(t, m)
 	if tr.Messages() != st.Messages {
 		t.Errorf("trace messages %d != stats %d", tr.Messages(), st.Messages)
 	}
@@ -289,7 +289,7 @@ func TestTracingDoesNotPerturbTiming(t *testing.T) {
 	if err := traced.Run(body); err != nil {
 		t.Fatal(err)
 	}
-	ps, ts := plain.Stats(), traced.Stats()
+	ps, ts := mustStats(t, plain), mustStats(t, traced)
 	if ps.Makespan != ts.Makespan {
 		t.Errorf("tracing changed the makespan: %d != %d", ts.Makespan, ps.Makespan)
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package wavefront
+
+// raceEnabled reports whether the race detector instruments this build; the
+// scale test shrinks its problem size under the detector's ~10× slowdown.
+const raceEnabled = false

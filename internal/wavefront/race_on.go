@@ -1,0 +1,5 @@
+//go:build race
+
+package wavefront
+
+const raceEnabled = true
