@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -32,13 +35,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the search through its context: pdmap prints the
+	// partial report accumulated so far and exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdmap:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdmap", flag.ContinueOnError)
 	var (
 		file     = fs.String("file", "", "Idn source file (default: stdin)")
@@ -101,11 +112,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	w := &autotune.Workload{Name: name, Source: src, Entry: *entry, Dist: dn, Defines: defines.vals}
-	rep, err := autotune.Search(w, machine.DefaultConfig(*procs), autotune.Options{
+	rep, err := autotune.SearchCtx(ctx, w, machine.DefaultConfig(*procs), autotune.Options{
 		Space: space, Keep: *keep, TopK: *topk, Workers: *workers,
 		BaselineMode: *baseMode, BaselineBlk: *baseBlk,
 	})
 	if err != nil {
+		// An interrupted search still returns what it learned: print the
+		// partial report before exiting nonzero.
+		if rep != nil && errors.Is(err, context.Canceled) {
+			if *jsonOut {
+				rep.WriteJSON(stdout)
+			} else {
+				io.WriteString(stdout, rep.Format())
+			}
+		}
 		return err
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestSearchOutputByteIdentical(t *testing.T) {
 	render := func(args ...string) []byte {
 		t.Helper()
 		var buf bytes.Buffer
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -47,13 +48,13 @@ func TestSearchOutputByteIdentical(t *testing.T) {
 // Flag validation: contradictory sources and unknown dists fail cleanly.
 func TestBadInvocations(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-gs", "-file", "x.idn"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-gs", "-file", "x.idn"}, &buf); err == nil {
 		t.Error("-gs with -file accepted")
 	}
-	if err := run([]string{"-gs", "-dist", "NoSuch", "-D", "N=8"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-gs", "-dist", "NoSuch", "-D", "N=8"}, &buf); err == nil {
 		t.Error("unknown -dist accepted")
 	}
-	if err := run([]string{"-gs", "-kinds", "bogus", "-D", "N=8"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-gs", "-kinds", "bogus", "-D", "N=8"}, &buf); err == nil {
 		t.Error("unknown -kinds entry accepted")
 	}
 }

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -140,8 +143,23 @@ func main() {
 		tr = trace.New()
 		cfg.Tracer = tr
 	}
-	out, err := exec.RunSPMD(progs, cfg, inputs)
+	// Ctrl-C cancels the simulated run through the machine's cancellation
+	// points: the run returns a typed *machine.CanceledError naming where
+	// each blocked process stood, and pdrun exits 130 like an interrupted
+	// shell command would.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	out, err := exec.RunSPMDCtx(ctx, progs, cfg, inputs)
+	stop()
 	if err != nil {
+		if errors.Is(err, machine.ErrCanceled) {
+			var ce *machine.CanceledError
+			if errors.As(err, &ce) && ce.Proc >= 0 {
+				fmt.Fprintf(os.Stderr, "pdrun: interrupted at process %d, cycle %d\n", ce.Proc, ce.Clock)
+			} else {
+				fmt.Fprintln(os.Stderr, "pdrun: interrupted")
+			}
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

@@ -1,0 +1,117 @@
+// Command pdserve runs the toolchain as a long-lived HTTP service: POST
+// /compile, /run, /search, /trace with the same semantics as the pdc, pdrun,
+// pdmap and pdtrace commands, plus the robustness a shared service needs —
+// a bounded admission queue with load shedding, per-request deadlines,
+// panic-isolated workers with retries, graceful drain on SIGTERM, and a
+// crash-safe persistent result cache.
+//
+// Usage:
+//
+//	pdserve -addr :8420 -cache /var/cache/pdserve
+//	pdserve -smoke -json    # self-check: serve, hammer, report, exit
+//
+// Every response is a deterministic function of the request body; identical
+// requests are answered with identical bytes, before or after a restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"procdecomp/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8420", "listen address")
+		queue      = flag.Int("queue", 64, "admission queue depth (beyond it, requests are shed with 429)")
+		workers    = flag.Int("workers", 4, "evaluation worker pool size")
+		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxDL      = flag.Duration("max-deadline", 2*time.Minute, "largest deadline a request may ask for")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		cacheDir   = flag.String("cache", "", "persistent result cache directory (empty = no cache)")
+		retries    = flag.Int("retries", 2, "retries for a panicking evaluation before the request fails")
+		panicEvery = flag.Int("chaos-panic-every", 0, "chaos: every Nth evaluation panics once (0 = off)")
+		smoke      = flag.Bool("smoke", false, "self-check: start a server, drive concurrent load through injected panics, report, exit")
+		smokeN     = flag.Int("smoke-requests", 60, "smoke request count")
+		smokeC     = flag.Int("smoke-concurrency", 8, "smoke client concurrency")
+		jsonOut    = flag.String("json", "", "with -smoke: also write the report to this file")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		QueueDepth: *queue, Workers: *workers,
+		DefaultDeadline: *deadline, MaxDeadline: *maxDL, DrainTimeout: *drain,
+		Retries: *retries, CacheDir: *cacheDir, PanicEvery: *panicEvery,
+	}
+
+	if *smoke {
+		rep, err := serve.Smoke(serve.SmokeConfig{Requests: *smokeN, Concurrency: *smokeC, Server: cfg})
+		if rep != nil {
+			rep.WriteJSON(os.Stdout)
+			if *jsonOut != "" {
+				f, ferr := os.Create(*jsonOut)
+				if ferr != nil {
+					fatal(ferr)
+				}
+				if ferr := rep.WriteJSON(f); ferr != nil {
+					f.Close()
+					fatal(ferr)
+				}
+				if ferr := f.Close(); ferr != nil {
+					fatal(ferr)
+				}
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	fmt.Printf("pdserve: listening on %s (queue %d, workers %d, cache %q)\n",
+		ln.Addr(), *queue, *workers, *cacheDir)
+
+	// SIGTERM/SIGINT: stop accepting, drain in-flight work up to the drain
+	// budget, cancel stragglers, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("pdserve: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx)
+	if err := s.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pdserve:", err)
+	}
+	st := s.Stats()
+	fmt.Printf("pdserve: done: %d completed, %d failed, %d shed, %d panics isolated\n",
+		st.Completed, st.Failed, st.Shed, st.Panics)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+package autotune
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"procdecomp/internal/dist"
+	"procdecomp/internal/machine"
+)
+
+// smallSpace keeps the robustness tests fast: one family, four pipelines.
+func smallSpace() Space {
+	return Space{
+		Kinds: []dist.Kind{dist.KindCyclicCols},
+		Spans: []int64{4},
+		Modes: []string{"ctr", "opt1", "opt2", "opt3"},
+		Blks:  []int64{4, 8},
+	}
+}
+
+// TestSearchSurvivesPanickingCandidate: a candidate whose evaluation panics —
+// in the tier-1 static walk or in the tier-3 measurement pool — must be
+// recorded as infeasible with the panic message, not crash the search or
+// poison the report. The winner still emerges from the surviving candidates.
+func TestSearchSurvivesPanickingCandidate(t *testing.T) {
+	for _, stage := range []string{"static", "measure"} {
+		t.Run(stage, func(t *testing.T) {
+			opts := Options{Space: smallSpace()}
+			opts.evalHook = func(s string, c Candidate) {
+				if s == stage && c.Mode == "opt1" {
+					panic("injected evaluation fault")
+				}
+			}
+			rep, err := SearchCtx(context.Background(), gsWorkload(16), machine.DefaultConfig(4), opts)
+			if err != nil {
+				t.Fatalf("search did not survive the panicking candidate: %v", err)
+			}
+			if rep.Winner == "" {
+				t.Fatal("search survived but crowned no winner")
+			}
+			if strings.Contains(rep.Winner, "opt1") {
+				t.Fatalf("the panicking candidate %s won", rep.Winner)
+			}
+			var panicked int
+			for _, r := range rep.Results {
+				if r.Candidate.Mode != "opt1" {
+					continue
+				}
+				if r.Status != StatusInfeasible {
+					t.Errorf("%s: status %s, want %s", r.Candidate.Key(), r.Status, StatusInfeasible)
+				}
+				if !strings.Contains(r.Note, "panic: injected evaluation fault") {
+					t.Errorf("%s: note %q does not carry the panic message", r.Candidate.Key(), r.Note)
+				}
+				panicked++
+			}
+			if panicked == 0 {
+				t.Fatal("no opt1 candidate reached the panicking stage")
+			}
+		})
+	}
+}
+
+// TestSearchCtxCanceledBeforeStart: a context canceled before the search
+// begins yields an error wrapping context.Canceled, never a crowned report.
+func TestSearchCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := SearchCtx(ctx, gsWorkload(16), machine.DefaultConfig(4), Options{Space: smallSpace()})
+	if err == nil {
+		t.Fatal("canceled search succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if rep == nil {
+		t.Fatal("canceled search returned no partial report")
+	}
+	if rep.Winner != "" {
+		t.Fatalf("canceled search crowned %s", rep.Winner)
+	}
+}
+
+// TestSearchCtxCanceledMidSearch: cancellation after the anchor (triggered
+// from inside the tier-1 pool) ends the search promptly with the partial
+// results accumulated so far.
+func TestSearchCtxCanceledMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{Space: smallSpace()}
+	opts.evalHook = func(s string, c Candidate) {
+		if s == "static" {
+			cancel()
+		}
+	}
+	rep, err := SearchCtx(ctx, gsWorkload(16), machine.DefaultConfig(4), opts)
+	if err == nil {
+		t.Fatal("canceled search succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if rep == nil {
+		t.Fatal("canceled search returned no partial report")
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("mid-search cancellation dropped the partial results")
+	}
+}

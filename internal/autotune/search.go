@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -105,6 +106,20 @@ type Options struct {
 	// Default: the paper's hand choice — cyclic columns over the whole
 	// machine, fully optimized (opt3) with block size 8.
 	Hand *Candidate
+	// evalHook, when non-nil, is called before each candidate evaluation
+	// (stage "static" for the tier-1 walk, "measure" for a tier-3 run) — a
+	// test seam for injecting panics into the worker pool.
+	evalHook func(stage string, c Candidate)
+}
+
+// ErrEvalPanic marks a candidate evaluation that panicked. The Search worker
+// pool recovers the panic and records the candidate as infeasible with the
+// panic message (errors.Is against this sentinel), so one broken candidate
+// cannot take down a whole search.
+var ErrEvalPanic = errors.New("autotune: candidate evaluation panicked")
+
+func panicAsError(c Candidate, r any) error {
+	return fmt.Errorf("%w: %s: panic: %v", ErrEvalPanic, c.Key(), r)
 }
 
 // Measurement is one confirmed run.
@@ -171,12 +186,28 @@ func CacheKey(w *Workload, c Candidate, cfg machine.Config) string {
 // It is deterministic: rerunning the same candidate reproduces the makespan
 // exactly, which the search (and its tests) rely on.
 func Measure(w *Workload, c Candidate, cfg machine.Config) (Measurement, error) {
-	m, _, err := measure(w, c, cfg, false)
+	m, _, err := measure(context.Background(), w, c, cfg, false)
+	return m, err
+}
+
+// safeMeasure is Measure under a context with the worker pool's panic
+// isolation: a panicking evaluation comes back as an ErrEvalPanic-wrapped
+// error instead of unwinding the pool.
+func safeMeasure(ctx context.Context, w *Workload, c Candidate, cfg machine.Config, hook func(string, Candidate)) (m Measurement, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = Measurement{}, panicAsError(c, r)
+		}
+	}()
+	if hook != nil {
+		hook("measure", c)
+	}
+	m, _, err = measure(ctx, w, c, cfg, false)
 	return m, err
 }
 
 // measure optionally traces the run and captures it for the analyzer.
-func measure(w *Workload, c Candidate, cfg machine.Config, traced bool) (Measurement, *analysis.Dump, error) {
+func measure(ctx context.Context, w *Workload, c Candidate, cfg machine.Config, traced bool) (Measurement, *analysis.Dump, error) {
 	progs, info, err := w.compile(c, cfg.Procs)
 	if err != nil {
 		return Measurement{}, nil, err
@@ -191,7 +222,7 @@ func measure(w *Workload, c Candidate, cfg machine.Config, traced bool) (Measure
 		tr = trace.New()
 		cfg.Tracer = tr
 	}
-	out, err := exec.RunSPMD(progs, cfg, ins)
+	out, err := exec.RunSPMDCtx(ctx, progs, cfg, ins)
 	if err != nil {
 		return Measurement{}, nil, err
 	}
@@ -243,6 +274,22 @@ func forEach(n, workers int, f func(i int)) {
 // baseline run contradicts the model, or if any modeled candidate's measured
 // makespan differs from its prediction.
 func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
+	return SearchCtx(context.Background(), w, cfg, opts)
+}
+
+// interrupted finalizes a partial report after context cancellation: every
+// result accumulated so far is kept so the caller can still print what the
+// search learned, alongside a nonzero ("interrupted") error.
+func interrupted(rep *Report, results []Result, err error) (*Report, error) {
+	rep.Results = orderResults(results)
+	return rep, fmt.Errorf("autotune: search interrupted: %w", err)
+}
+
+// SearchCtx is Search under a context. Cancellation is honored between tiers
+// and inside the measurement pool (it propagates into the simulated machine
+// via exec.RunSPMDCtx); an interrupted search returns the partial report
+// together with an error wrapping ctx.Err().
+func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("autotune: machine with %d processors", cfg.Procs)
 	}
@@ -277,7 +324,10 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 	// Anchor: run the program as annotated, traced, and demand that both the
 	// dump's identity replay and the walker's prediction reproduce the
 	// measured makespan before trusting the model anywhere else.
-	if err := anchor(w, cfg, opts, rep); err != nil {
+	if err := anchor(ctx, w, cfg, opts, rep); err != nil {
+		if ctx.Err() != nil {
+			return interrupted(rep, nil, ctx.Err())
+		}
 		return nil, err
 	}
 
@@ -290,19 +340,29 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
 	}
 
-	// Tier 1: compile and walk everything.
+	// Tier 1: compile and walk everything. Each evaluation runs under a
+	// recover, so a candidate whose compilation or walk panics is recorded
+	// as infeasible (with the panic message) instead of crashing the pool.
 	results := make([]Result, len(cands))
 	profiles := make([]*Profile, len(cands))
 	forEach(len(cands), opts.Workers, func(i int) {
 		c := cands[i]
 		results[i] = Result{Candidate: c}
-		progs, _, err := w.compile(c, cfg.Procs)
-		if err != nil {
-			results[i].Status = StatusInfeasible
-			results[i].Note = err.Error()
-			return
-		}
-		pf, err := BuildProfile(progs, cfg)
+		pf, err := func() (pf *Profile, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					pf, err = nil, panicAsError(c, r)
+				}
+			}()
+			if opts.evalHook != nil {
+				opts.evalHook("static", c)
+			}
+			progs, _, err := w.compile(c, cfg.Procs)
+			if err != nil {
+				return nil, err
+			}
+			return BuildProfile(progs, cfg)
+		}()
 		if err != nil {
 			var um *ErrUnmodeled
 			if errors.As(err, &um) {
@@ -318,6 +378,9 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 		results[i].Status = StatusPruned
 		results[i].Static = pf.Static(cfg)
 	})
+	if err := ctx.Err(); err != nil {
+		return interrupted(rep, results, err)
+	}
 
 	// Tier 2, with a sound prune. The static score is a lower bound on the
 	// makespan (busy time can only be stretched by waits), so replaying in
@@ -335,6 +398,9 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 	best := uint64(0)
 	haveBest := false
 	for n, i := range modeled {
+		if err := ctx.Err(); err != nil {
+			return interrupted(rep, results, err)
+		}
 		forced := results[i].Candidate.Key() == hand.Key()
 		if n >= opts.Keep && haveBest && results[i].Static >= best && !forced {
 			continue // provably not the winner
@@ -380,6 +446,9 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 		mIdx = append(mIdx, i)
 	}
 	sort.Ints(mIdx)
+	if err := ctx.Err(); err != nil {
+		return interrupted(rep, results, err)
+	}
 
 	// Tier 3: confirm on the simulated machine, through the cache.
 	errs := make([]error, len(mIdx))
@@ -389,7 +458,7 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 		m, ok := opts.Cache.get(key)
 		if !ok {
 			var err error
-			m, err = Measure(w, results[i].Candidate, cfg)
+			m, err = safeMeasure(ctx, w, results[i].Candidate, cfg, opts.evalHook)
 			if err != nil {
 				errs[n] = err
 				return
@@ -401,13 +470,18 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 		results[i].Messages = m.Messages
 		results[i].Values = m.Values
 	})
+	if err := ctx.Err(); err != nil {
+		return interrupted(rep, results, err)
+	}
 	for n, err := range errs {
 		if err != nil {
 			// A candidate that compiles and models but fails to run (or runs
 			// wrong) is a model violation for modeled candidates, a mere
-			// infeasibility for unmodeled ones.
+			// infeasibility for unmodeled ones. A panicking evaluation is
+			// never a model violation: the pool isolated it, so it is just
+			// recorded and the search carries on.
 			i := mIdx[n]
-			if !results[i].Unmodeled {
+			if !results[i].Unmodeled && !errors.Is(err, ErrEvalPanic) {
 				return nil, fmt.Errorf("autotune: modeled candidate %s failed to run: %w", results[i].Candidate.Key(), err)
 			}
 			results[i].Status = StatusInfeasible
@@ -451,8 +525,11 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 
 	// Rerun the winner traced: the rerun must reproduce the measurement
 	// exactly, and its critical path attributes the makespan by cause.
-	m2, d, err := measure(w, results[winner].Candidate, cfg, true)
+	m2, d, err := measure(ctx, w, results[winner].Candidate, cfg, true)
 	if err != nil {
+		if ctx.Err() != nil {
+			return interrupted(rep, results, ctx.Err())
+		}
 		return nil, fmt.Errorf("autotune: winner rerun: %w", err)
 	}
 	if m2.Makespan != results[winner].Measured {
@@ -472,7 +549,7 @@ func Search(w *Workload, cfg machine.Config, opts Options) (*Report, error) {
 // anchor measures the declared program traced and checks the model against
 // it: dump identity replay, walker DAG replay, and message totals must all
 // agree with the machine.
-func anchor(w *Workload, cfg machine.Config, opts Options, rep *Report) error {
+func anchor(ctx context.Context, w *Workload, cfg machine.Config, opts Options, rep *Report) error {
 	progs, info, err := w.compileDeclared(opts.BaselineMode, opts.BaselineBlk, cfg.Procs)
 	if err != nil {
 		return fmt.Errorf("autotune: baseline does not compile: %w", err)
@@ -484,7 +561,7 @@ func anchor(w *Workload, cfg machine.Config, opts Options, rep *Report) error {
 	bcfg := cfg
 	tr := trace.New()
 	bcfg.Tracer = tr
-	out, err := exec.RunSPMD(progs, bcfg, ins)
+	out, err := exec.RunSPMDCtx(ctx, progs, bcfg, ins)
 	if err != nil {
 		return fmt.Errorf("autotune: baseline run: %w", err)
 	}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"procdecomp/internal/dist"
@@ -29,6 +31,27 @@ type SPMDOutcome struct {
 // global contents of each parameter array; the harness scatters them to the
 // owners before timing starts.
 func RunSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istruct.Matrix) (*SPMDOutcome, error) {
+	return RunSPMDCtx(context.Background(), progs, cfg, inputs)
+}
+
+// RunSPMDCtx is RunSPMD under a context: the context's Done channel is wired
+// to the machine's Cancel hook, so a deadline or cancellation aborts the
+// simulated run at the next machine action of any process. A canceled run
+// returns an error satisfying errors.Is against both machine.ErrCanceled and
+// the context's own error (context.Canceled or context.DeadlineExceeded), so
+// callers can tell a host-side abort from a simulation failure.
+func RunSPMDCtx(ctx context.Context, progs []*spmd.Program, cfg machine.Config, inputs map[string]*istruct.Matrix) (*SPMDOutcome, error) {
+	if done := ctx.Done(); done != nil {
+		cfg.Cancel = done
+	}
+	out, err := runSPMD(progs, cfg, inputs)
+	if err != nil && errors.Is(err, machine.ErrCanceled) && ctx.Err() != nil {
+		return nil, fmt.Errorf("exec: %w: %w", err, ctx.Err())
+	}
+	return out, err
+}
+
+func runSPMD(progs []*spmd.Program, cfg machine.Config, inputs map[string]*istruct.Matrix) (*SPMDOutcome, error) {
 	pick := func(p int) *spmd.Program { return progs[p] }
 	switch {
 	case len(progs) == 1 && progs[0].Proc < 0:

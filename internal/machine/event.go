@@ -278,6 +278,11 @@ func (ev *evLoop) quiesce() bool {
 		}
 		wi := m.waiting[pid]
 		if wi.send {
+			if reason := m.sendUnsatisfiableLocked(wi.dst); reason != "" {
+				m.failed = &SendTimeoutError{Proc: pid, Dst: wi.dst,
+					Clock: m.procs[pid].clock, Reason: reason}
+				return true
+			}
 			continue
 		}
 		if reason := m.unsatisfiableLocked(pid, wi.k); reason != "" {
@@ -346,15 +351,20 @@ func (ev *evLoop) wakeCap(src, dst int) {
 	}
 }
 
-// wakeCrashed readies every process parked receiving from the crashed
-// process, in pid order; each will fail its watchdog check when it runs.
-func (ev *evLoop) wakeCrashed(src int) {
+// wakeCrashed readies every process parked on the crashed process — blocked
+// receiving from it, or capacity-blocked sending to it — in pid order; each
+// will fail its watchdog check when it runs.
+func (ev *evLoop) wakeCrashed(crashed int) {
 	m := ev.m
 	for pid := 0; pid < m.cfg.Procs; pid++ {
 		if ev.state[pid] != evWaiting {
 			continue
 		}
-		if wi, ok := m.waiting[pid]; ok && !wi.send && wi.k.src == src {
+		wi, ok := m.waiting[pid]
+		if !ok {
+			continue
+		}
+		if (!wi.send && wi.k.src == crashed) || (wi.send && wi.dst == crashed) {
 			ev.ready(pid)
 		}
 	}
@@ -441,6 +451,13 @@ func (p *Proc) evCapWait(dst int) {
 	ev := m.ev
 	for uint64(len(ls.freed)) <= idx {
 		if m.failed != nil {
+			panic(errAborted)
+		}
+		// The send watchdog: a slot that can be proven never to free (the
+		// receiver crash-stopped) fails now with a typed error instead of
+		// surfacing as a deadlock at quiescence.
+		if reason := m.sendUnsatisfiableLocked(dst); reason != "" {
+			m.failed = &SendTimeoutError{Proc: p.id, Dst: dst, Clock: p.clock, Reason: reason}
 			panic(errAborted)
 		}
 		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
@@ -565,6 +582,10 @@ func (p *Proc) evMuxCapWait(dst int) {
 				p.clock = freeAt
 			}
 			return
+		}
+		if reason := m.sendUnsatisfiableLocked(dst); reason != "" {
+			m.failed = &SendTimeoutError{Proc: p.id, Dst: dst, Clock: p.clock, Reason: reason}
+			panic(errAborted)
 		}
 		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
 		ev.state[p.id] = evWaiting

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"procdecomp/internal/faults"
 	"procdecomp/internal/trace"
@@ -102,6 +103,16 @@ type Config struct {
 	// proves the two bit-identical). Both produce identical virtual-time
 	// results; they differ only in wall-clock cost.
 	Engine Engine
+	// Cancel, when non-nil, lets the host abort a run in wall-clock time:
+	// once the channel is closed, every process fails at its next machine
+	// action and Run returns a *CanceledError (errors.Is ErrCanceled).
+	// Cancellation is best-effort — a run that completes before any process
+	// takes another action returns its normal result — and the point of
+	// interruption depends on host scheduling, so a canceled run's partial
+	// clocks are not deterministic (finished runs are unaffected: nil Cancel,
+	// or a channel that never closes, is bit-identical to earlier versions).
+	// Typically wired to a context's Done channel by exec.RunSPMDCtx.
+	Cancel <-chan struct{}
 }
 
 // DefaultConfig returns the iPSC/2-flavoured calibration used by the paper
@@ -227,6 +238,11 @@ type Machine struct {
 	procs                    []*Proc
 	sched                    *muxSched // nil unless Config.Placement multiplexes processes
 	ev                       *evLoop   // nil unless Config.Engine is EngineEvent
+
+	// canceled is set by the Cancel watcher; processes poll it at every
+	// machine action. It is the only cross-thread signal into the event
+	// engine, which is why it is atomic rather than token-guarded.
+	canceled atomic.Bool
 }
 
 // ErrDeadlock is returned by Run when every live process is blocked in Recv
@@ -240,6 +256,36 @@ var ErrDeadlock = errors.New("machine: deadlock: all processes blocked in receiv
 // message was lost forever, its link is dead, or its sender crash-stopped).
 // The concrete error is a *RecvTimeoutError naming the blocked (src, tag).
 var ErrRecvTimeout = errors.New("machine: receive watchdog timeout")
+
+// ErrSendTimeout is returned by Run when the send watchdog diagnoses a
+// sender blocked on a full bounded channel (Config.MailboxCap) that can
+// never drain — its receiver crash-stopped. The concrete error is a
+// *SendTimeoutError naming the blocked channel; without this diagnosis the
+// sender would surface as a bare deadlock report.
+var ErrSendTimeout = errors.New("machine: send watchdog timeout")
+
+// ErrCanceled is returned by Run when the host closed Config.Cancel before
+// the run finished. The concrete error is a *CanceledError.
+var ErrCanceled = errors.New("machine: run canceled")
+
+// CanceledError reports a run aborted through Config.Cancel. Proc and Clock
+// name the first process that observed the cancellation and its virtual time
+// (Proc is -1 when the watcher itself recorded the failure); they describe
+// where the abort landed, not a deterministic property of the program.
+type CanceledError struct {
+	Proc  int
+	Clock Cost
+}
+
+func (e *CanceledError) Error() string {
+	if e.Proc < 0 {
+		return "machine: run canceled by the host"
+	}
+	return fmt.Sprintf("machine: run canceled by the host at process %d, cycle %d", e.Proc, e.Clock)
+}
+
+// Is makes errors.Is(err, ErrCanceled) work.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // errAborted interrupts processes blocked in Recv after another process
 // failed; Run reports the original failure.
@@ -303,6 +349,11 @@ func (m *Machine) Config() Config { return m.cfg }
 // processes to finish. A panic in any process (an I-structure error, for
 // example) aborts the run and is returned as an error, as is deadlock.
 func (m *Machine) Run(body func(p *Proc)) error {
+	if m.cfg.Cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go m.watchCancel(stop)
+	}
 	if m.ev != nil {
 		return m.runEvent(body)
 	}
@@ -356,6 +407,51 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	return m.failed
 }
 
+// watchCancel waits for Config.Cancel (or the end of the run) and raises the
+// cancellation flag. On the goroutine engine it also records the failure and
+// broadcasts, so processes parked in cond.Wait unwind promptly; on the event
+// engine the loop's single-threaded state may only be touched by the token
+// holder, so processes discover the flag at their next machine action.
+func (m *Machine) watchCancel(stop chan struct{}) {
+	select {
+	case <-m.cfg.Cancel:
+		m.canceled.Store(true)
+		if m.ev == nil {
+			m.mu.Lock()
+			if m.failed == nil {
+				m.failed = &CanceledError{Proc: -1}
+			}
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		}
+	case <-stop:
+	}
+}
+
+// checkCancel aborts the calling process if the host canceled the run. It is
+// the cancellation point of every machine action (Compute, Send, Recv), so a
+// compute-bound process still observes cancellation between charges.
+func (p *Proc) checkCancel() {
+	m := p.m
+	if m.cfg.Cancel == nil || !m.canceled.Load() {
+		return
+	}
+	if m.ev != nil {
+		// Token holder: event-engine state needs no lock.
+		if m.failed == nil {
+			m.failed = &CanceledError{Proc: p.id, Clock: p.clock}
+		}
+		panic(errAborted)
+	}
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = &CanceledError{Proc: p.id, Clock: p.clock}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	panic(errAborted)
+}
+
 // checkDeadlockLocked flags deadlock when every live process is blocked (in
 // Recv, or in Send on a full channel) and nothing pending can satisfy any of
 // them. The satisfiability test matters: a receiver woken by a send — or a
@@ -378,10 +474,20 @@ func (m *Machine) checkDeadlockLocked() {
 		}
 	}
 	// Quiescent: nothing can make progress. Prefer the watchdog diagnosis,
-	// scanning in process order so the reported receive is deterministic.
+	// scanning in process order so the reported action is deterministic: a
+	// blocked receive whose message can never come, or a capacity-blocked
+	// send whose receiver can never drain.
 	for pid := 0; pid < m.cfg.Procs; pid++ {
 		wi, ok := m.waiting[pid]
-		if !ok || wi.send {
+		if !ok {
+			continue
+		}
+		if wi.send {
+			if reason := m.sendUnsatisfiableLocked(wi.dst); reason != "" {
+				m.failed = &SendTimeoutError{Proc: pid, Dst: wi.dst,
+					Clock: m.procs[pid].clock, Reason: reason}
+				return
+			}
 			continue
 		}
 		if reason := m.unsatisfiableLocked(pid, wi.k); reason != "" {
@@ -475,6 +581,7 @@ func (p *Proc) Clock() Cost { return p.clock }
 // schedule, a slowed-down process pays a scaled charge and a crash-stopped
 // one stops here.
 func (p *Proc) Compute(c Cost) {
+	p.checkCancel()
 	if f := p.m.cfg.Faults; f != nil {
 		p.checkCrash()
 		c = Cost(f.ScaleCompute(p.id, uint64(c)))
@@ -512,6 +619,7 @@ func (p *Proc) Send(dst int, tag int64, vals ...Value) {
 	if dst < 0 || dst >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("machine: send to processor %d out of range [0,%d)", dst, p.m.cfg.Procs))
 	}
+	p.checkCancel()
 	p.checkCrash()
 	if p.m.sched != nil {
 		if p.m.ev != nil {
@@ -602,6 +710,7 @@ func (p *Proc) Recv(src int, tag int64) []Value {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("machine: recv from processor %d out of range [0,%d)", src, p.m.cfg.Procs))
 	}
+	p.checkCancel()
 	p.checkCrash()
 	if p.m.sched != nil {
 		if p.m.ev != nil {

@@ -189,6 +189,20 @@ func (m *Machine) unsatisfiableLocked(pid int, k key) string {
 	return ""
 }
 
+// sendUnsatisfiableLocked reports why a send blocked on dst's full bounded
+// channel can never proceed ("" when it still can): only dst itself drains
+// its mailbox, so once dst crash-stops no slot will ever free. Crashes only
+// happen under a fault schedule.
+func (m *Machine) sendUnsatisfiableLocked(dst int) string {
+	if m.cfg.Faults == nil {
+		return ""
+	}
+	if m.crashed[dst] {
+		return fmt.Sprintf("process %d crash-stopped and will never drain its mailbox", dst)
+	}
+	return ""
+}
+
 // capWaitLocked blocks p until the channel p→dst has a free slot
 // (Config.MailboxCap), then advances p's clock to the virtual time the slot
 // freed — backpressure in virtual time. The wait is charged to the sender's
@@ -205,6 +219,16 @@ func (m *Machine) capWaitLocked(p *Proc, dst int) {
 	}
 	idx := ls.sent - capN
 	for uint64(len(ls.freed)) <= idx {
+		// The send watchdog: a wait for a slot that can be proven never to
+		// free — the receiver crash-stopped — fails now with a typed error,
+		// at the sender's virtual time, instead of surfacing as a deadlock
+		// at quiescence.
+		if reason := m.sendUnsatisfiableLocked(dst); reason != "" {
+			m.failed = &SendTimeoutError{Proc: p.id, Dst: dst, Clock: p.clock, Reason: reason}
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			panic(errAborted)
+		}
 		m.waiting[p.id] = waitInfo{send: true, dst: dst, idx: idx}
 		m.checkDeadlockLocked()
 		if m.failed != nil {
@@ -270,6 +294,26 @@ func (e *RecvTimeoutError) Error() string {
 
 // Is makes errors.Is(err, ErrRecvTimeout) work.
 func (e *RecvTimeoutError) Is(target error) bool { return target == ErrRecvTimeout }
+
+// SendTimeoutError is the send watchdog's diagnosis: a process is blocked in
+// Send on a full bounded channel (Config.MailboxCap) that can never drain
+// because the receiver crash-stopped. It satisfies
+// errors.Is(err, ErrSendTimeout).
+type SendTimeoutError struct {
+	Proc  int  // the blocked sender
+	Dst   int  // the destination whose channel is full
+	Clock Cost // the sender's virtual time at the blocked send
+	// Reason says why the channel can never drain.
+	Reason string
+}
+
+func (e *SendTimeoutError) Error() string {
+	return fmt.Sprintf("machine: send watchdog: process %d blocked at cycle %d sending to process %d on a full channel: %s",
+		e.Proc, e.Clock, e.Dst, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrSendTimeout) work.
+func (e *SendTimeoutError) Is(target error) bool { return target == ErrSendTimeout }
 
 // BlockedProc is one entry of a DeadlockError: a process, what it is blocked
 // on, and what its mailbox held at the time.

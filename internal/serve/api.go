@@ -1,0 +1,390 @@
+// Package serve is the long-running face of the toolchain: an HTTP service
+// fronting the pdc/pdrun/pdmap/pdtrace pipelines with the robustness a
+// shared service needs and the one-shot commands do not — bounded admission,
+// per-request deadlines, load shedding, panic isolation with retries, and a
+// crash-safe content-keyed result cache.
+//
+// The endpoints mirror the commands:
+//
+//	POST /compile  -> generated per-process C (pdc)
+//	POST /run      -> a simulated execution's stats and outputs (pdrun)
+//	POST /search   -> the decomposition search report (pdmap)
+//	POST /trace    -> the critical-path analysis of a traced run (pdtrace)
+//
+// Every response body is a deterministic function of the request body, which
+// is what makes the cache exact: equal requests are answered with identical
+// bytes, before or after a restart.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"procdecomp/internal/analysis"
+	"procdecomp/internal/autotune"
+	"procdecomp/internal/bench"
+	"procdecomp/internal/core"
+	"procdecomp/internal/exec"
+	"procdecomp/internal/istruct"
+	"procdecomp/internal/lang"
+	"procdecomp/internal/machine"
+	"procdecomp/internal/sem"
+	"procdecomp/internal/spmd"
+	"procdecomp/internal/trace"
+	"procdecomp/internal/xform"
+)
+
+// Request is the body every endpoint accepts. Unset fields take defaults in
+// normalize; TimeoutMS shapes scheduling only and is excluded from the
+// content key, so two requests differing only in deadline share a cache
+// entry.
+type Request struct {
+	// GS selects the built-in Gauss-Seidel program (paper Fig. 1); Source
+	// supplies Idn text. Exactly one of the two.
+	GS     bool   `json:",omitempty"`
+	Source string `json:",omitempty"`
+	// Entry is the procedure compiled and measured (default with GS:
+	// gs_iteration).
+	Entry string `json:",omitempty"`
+	Procs int    `json:",omitempty"` // default 4
+	// Mode/Blk select the transformation pipeline for /compile, /run and
+	// /trace (default opt3, blk 8). /search enumerates its own.
+	Mode    string           `json:",omitempty"`
+	Blk     int64            `json:",omitempty"`
+	Defines map[string]int64 `json:",omitempty"`
+	// Dist names the declaration /search retargets (default: the program's
+	// only one).
+	Dist string `json:",omitempty"`
+	// Keep/TopK tune the /search tiers (0 = library defaults).
+	Keep int `json:",omitempty"`
+	TopK int `json:",omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 = the
+	// server's default; values above the server's maximum are clamped).
+	TimeoutMS int64 `json:",omitempty"`
+}
+
+// ErrInvalid marks a request rejected before any work starts (HTTP 400).
+var ErrInvalid = errors.New("serve: invalid request")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvalid}, args...)...)
+}
+
+// endpoints the service understands, in routing order.
+var endpoints = []string{"/compile", "/run", "/search", "/trace"}
+
+const maxProcs = 512
+
+// normalize validates the request and fills defaults, returning the
+// canonical form that the content key hashes.
+func normalize(endpoint string, req Request) (Request, error) {
+	switch {
+	case req.GS && req.Source != "":
+		return req, invalidf("GS and Source are mutually exclusive")
+	case req.GS:
+		req.Source = ""
+		if req.Entry == "" {
+			req.Entry = "gs_iteration"
+		}
+	case req.Source == "":
+		return req, invalidf("one of Source or GS is required")
+	}
+	if req.Entry == "" {
+		return req, invalidf("Entry is required")
+	}
+	if req.Procs == 0 {
+		req.Procs = 4
+	}
+	if req.Procs < 1 || req.Procs > maxProcs {
+		return req, invalidf("Procs %d outside [1, %d]", req.Procs, maxProcs)
+	}
+	if req.Mode == "" {
+		req.Mode = "opt3"
+	}
+	if req.Blk == 0 {
+		req.Blk = 8
+	}
+	if endpoint != "/search" {
+		if _, ok := xform.StandardPipeline(req.Mode, req.Blk); !ok && req.Mode != "rtr" {
+			return req, invalidf("unknown mode %q", req.Mode)
+		}
+	}
+	if req.TimeoutMS < 0 {
+		return req, invalidf("negative TimeoutMS")
+	}
+	return req, nil
+}
+
+// contentKey is the cache key of one request: the endpoint plus the
+// canonical JSON of the normalized request with its deadline zeroed.
+// encoding/json emits struct fields in declaration order and map keys
+// sorted, so equal requests hash equal.
+func contentKey(endpoint string, req Request) string {
+	req.TimeoutMS = 0
+	b, err := json.Marshal(req)
+	if err != nil {
+		// A Request is plain data; its marshal cannot fail.
+		panic(fmt.Sprintf("serve: marshal request: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(endpoint+"\n"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// evaluate dispatches one admitted job to its endpoint's evaluator and
+// marshals the response deterministically.
+func evaluate(ctx context.Context, endpoint string, req Request) ([]byte, error) {
+	var (
+		out any
+		err error
+	)
+	switch endpoint {
+	case "/compile":
+		out, err = doCompile(req)
+	case "/run":
+		out, err = doRun(ctx, req)
+	case "/search":
+		out, err = doSearch(ctx, req)
+	case "/trace":
+		out, err = doTrace(ctx, req)
+	default:
+		return nil, invalidf("no endpoint %s", endpoint)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal response: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+func source(req Request) string {
+	if req.GS {
+		return bench.GSSource
+	}
+	return req.Source
+}
+
+// compile builds the per-process programs the way pdrun does: parse,
+// semantic-check at the machine size, compile (run-time or compile-time
+// resolution), and apply the mode's pass pipeline.
+func compile(req Request) ([]*spmd.Program, *sem.Info, error) {
+	prog, err := lang.Parse(source(req))
+	if err != nil {
+		return nil, nil, err
+	}
+	info, errs := sem.Check(prog, sem.Config{Procs: int64(req.Procs), Defines: req.Defines})
+	if len(errs) > 0 {
+		return nil, nil, errs[0]
+	}
+	comp := core.New(info)
+	if req.Mode == "rtr" {
+		generic, err := comp.CompileRTR(req.Entry)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*spmd.Program{generic}, info, nil
+	}
+	passes, _ := xform.StandardPipeline(req.Mode, req.Blk)
+	progs, err := comp.CompileCTR(req.Entry, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := xform.Apply(progs, passes); err != nil {
+		return nil, nil, err
+	}
+	return progs, info, nil
+}
+
+// testInputs fills the entry's matrix parameters with the deterministic
+// pattern pdrun uses, so a served result is reproducible by hand.
+func testInputs(info *sem.Info, entry string) (map[string]*istruct.Matrix, error) {
+	p, ok := info.Procs[entry]
+	if !ok {
+		return nil, fmt.Errorf("no procedure %s", entry)
+	}
+	ins := map[string]*istruct.Matrix{}
+	for _, prm := range p.Params {
+		if prm.Type.Base != lang.TMatrix {
+			return nil, fmt.Errorf("entry parameter %s is not a matrix", prm.Name)
+		}
+		m, err := istruct.NewMatrix(prm.Name, prm.Type.Dims[0], prm.Type.Dims[1])
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(1); i <= prm.Type.Dims[0]; i++ {
+			for j := int64(1); j <= prm.Type.Dims[1]; j++ {
+				if err := m.Write(i, j, float64((i*31+j*17)%29)+0.5); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ins[prm.Name] = m
+	}
+	return ins, nil
+}
+
+// CompileResponse is /compile's body: the generated C per process program.
+type CompileResponse struct {
+	Entry    string
+	Procs    int
+	Mode     string
+	Blk      int64 `json:",omitempty"`
+	Programs []string
+}
+
+func doCompile(req Request) (*CompileResponse, error) {
+	progs, _, err := compile(req)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CompileResponse{Entry: req.Entry, Procs: req.Procs, Mode: req.Mode}
+	if req.Mode == "opt3" {
+		resp.Blk = req.Blk
+	}
+	for _, p := range progs {
+		resp.Programs = append(resp.Programs, spmd.FormatC(p))
+	}
+	return resp, nil
+}
+
+// ArrayResult summarizes one output array; ScalarResult one scalar. Both are
+// emitted in sorted name order so the response bytes are deterministic.
+type ArrayResult struct {
+	Name       string
+	Rows, Cols int64
+	Defined    int64
+}
+
+type ScalarResult struct {
+	Name  string
+	Value float64
+}
+
+// RunResponse is /run's body.
+type RunResponse struct {
+	Entry    string
+	Procs    int
+	Mode     string
+	Blk      int64 `json:",omitempty"`
+	Makespan uint64
+	Messages int64
+	Values   int64
+	Bytes    int64
+	Arrays   []ArrayResult  `json:",omitempty"`
+	Scalars  []ScalarResult `json:",omitempty"`
+}
+
+func doRun(ctx context.Context, req Request) (*RunResponse, error) {
+	out, _, err := runOnce(ctx, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp := &RunResponse{
+		Entry: req.Entry, Procs: req.Procs, Mode: req.Mode,
+		Makespan: uint64(out.Stats.Makespan),
+		Messages: out.Stats.Messages, Values: out.Stats.Values, Bytes: out.Stats.Bytes,
+	}
+	if req.Mode == "opt3" {
+		resp.Blk = req.Blk
+	}
+	names := make([]string, 0, len(out.Arrays))
+	for name := range out.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := out.Arrays[name]
+		var defined int64
+		for i := int64(1); i <= m.Rows(); i++ {
+			for j := int64(1); j <= m.Cols(); j++ {
+				if m.Defined(i, j) {
+					defined++
+				}
+			}
+		}
+		resp.Arrays = append(resp.Arrays, ArrayResult{Name: name, Rows: m.Rows(), Cols: m.Cols(), Defined: defined})
+	}
+	names = names[:0]
+	for name := range out.Scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.Scalars = append(resp.Scalars, ScalarResult{Name: name, Value: out.Scalars[name]})
+	}
+	return resp, nil
+}
+
+// runOnce compiles and executes the request's program, optionally traced.
+func runOnce(ctx context.Context, req Request, tr *trace.Log) (*exec.SPMDOutcome, machine.Config, error) {
+	progs, info, err := compile(req)
+	if err != nil {
+		return nil, machine.Config{}, err
+	}
+	ins, err := testInputs(info, req.Entry)
+	if err != nil {
+		return nil, machine.Config{}, err
+	}
+	cfg := machine.DefaultConfig(req.Procs)
+	cfg.Tracer = tr
+	out, err := exec.RunSPMDCtx(ctx, progs, cfg, ins)
+	return out, cfg, err
+}
+
+func doTrace(ctx context.Context, req Request) (*analysis.Report, error) {
+	tr := trace.New()
+	_, cfg, err := runOnce(ctx, req, tr)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Analyze(analysis.NewDump(cfg, tr), analysis.Options{TopLinks: 8, TopTags: 8})
+}
+
+func doSearch(ctx context.Context, req Request) (*autotune.Report, error) {
+	dn, err := pickDist(source(req), req.Dist)
+	if err != nil {
+		return nil, invalidf("%v", err)
+	}
+	name := "request"
+	if req.GS {
+		name = "gauss-seidel"
+	}
+	w := &autotune.Workload{Name: name, Source: source(req), Entry: req.Entry, Dist: dn, Defines: req.Defines}
+	rep, err := autotune.SearchCtx(ctx, w, machine.DefaultConfig(req.Procs), autotune.Options{Keep: req.Keep, TopK: req.TopK})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// pickDist resolves the declaration /search varies: the named one, or the
+// program's only one — the same rule pdmap applies.
+func pickDist(src, name string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var found []string
+	for _, d := range prog.Decls {
+		if dd, ok := d.(*lang.DistDecl); ok {
+			found = append(found, dd.Name)
+			if dd.Name == name {
+				return name, nil
+			}
+		}
+	}
+	if name != "" {
+		return "", fmt.Errorf("no dist declaration %s", name)
+	}
+	if len(found) != 1 {
+		return "", fmt.Errorf("the program has %d dist declarations; set Dist", len(found))
+	}
+	return found[0], nil
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DiskCache is the service's persistent result store: content key -> exact
+// response bytes. It is crash-safe by construction —
+//
+//   - writes go to a temp file in the cache directory and are renamed into
+//     place, so a kill at any instant leaves either the old entry, the new
+//     entry, or a .tmp leftover (swept on the next open), never a torn file;
+//   - every entry carries a checksum of its payload and echoes its key, both
+//     verified on read; an entry that fails either check is moved to a
+//     quarantine subdirectory and reported as a miss, never served.
+//
+// Keys are hex content hashes (contentKey); the entry's filename is a hash
+// of the key, so hostile or oversized keys cannot escape the directory.
+type DiskCache struct {
+	dir        string
+	mu         sync.Mutex // serializes writers per cache, not readers
+	hits       atomic.Int64
+	misses     atomic.Int64
+	writes     atomic.Int64
+	quarantine atomic.Int64
+}
+
+const (
+	cacheMagic     = "pdserve-cache v1"
+	quarantineDir  = "quarantined"
+	cacheExt       = ".entry"
+	cacheTmpSuffix = ".tmp"
+)
+
+// OpenDiskCache opens (creating if needed) a cache rooted at dir and sweeps
+// temp files a previous crash may have stranded.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open cache: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open cache: %w", err)
+	}
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), cacheTmpSuffix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+func (c *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+cacheExt)
+}
+
+// Get returns the entry's payload, or false on a miss. A corrupt entry —
+// bad magic, checksum mismatch, or a key collision — is quarantined and
+// reported as a miss.
+func (c *DiskCache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	payload, err := decodeEntry(raw, key)
+	if err != nil {
+		c.quarantineEntry(path)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return payload, true
+}
+
+// Put stores the payload under key with an atomic write-rename. A concurrent
+// Put of the same key is harmless: both writers produce identical bytes
+// (responses are deterministic in the key), so whichever rename lands last
+// installs the same entry.
+func (c *DiskCache) Put(key string, payload []byte) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".*"+cacheTmpSuffix)
+	if err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeEntry(key, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// quarantineEntry moves a corrupt entry aside so it is never read again but
+// remains available for inspection. Collisions in the quarantine directory
+// overwrite: the bytes there are corrupt anyway.
+func (c *DiskCache) quarantineEntry(path string) {
+	dst := filepath.Join(c.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path) // last resort: a corrupt entry must not be re-served
+	}
+	c.quarantine.Add(1)
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Writes, Quarantined int64
+}
+
+func (c *DiskCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Writes: c.writes.Load(), Quarantined: c.quarantine.Load(),
+	}
+}
+
+// encodeEntry frames a payload for disk:
+//
+//	pdserve-cache v1\n
+//	<sha256 hex of payload>\n
+//	<key>\n
+//	<payload bytes>
+func encodeEntry(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(cacheMagic) + len(key) + len(payload) + 80)
+	fmt.Fprintf(&b, "%s\n%s\n%s\n", cacheMagic, hex.EncodeToString(sum[:]), key)
+	b.Write(payload)
+	return b.Bytes()
+}
+
+func decodeEntry(raw []byte, key string) ([]byte, error) {
+	rest, ok := bytes.CutPrefix(raw, []byte(cacheMagic+"\n"))
+	if !ok {
+		return nil, fmt.Errorf("bad magic")
+	}
+	sumLine, rest, ok := bytes.Cut(rest, []byte("\n"))
+	if !ok {
+		return nil, fmt.Errorf("truncated header")
+	}
+	keyLine, payload, ok := bytes.Cut(rest, []byte("\n"))
+	if !ok {
+		return nil, fmt.Errorf("truncated header")
+	}
+	if string(keyLine) != key {
+		return nil, fmt.Errorf("entry keyed %q, want %q", keyLine, key)
+	}
+	sum := sha256.Sum256(payload)
+	if string(sumLine) != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	payload := []byte(`{"x": 1}` + "\n")
+	if err := c.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	// Overwrite is atomic and last-writer-wins.
+	if err := c.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get("k1"); string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Writes != 2 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 2 writes", st)
+	}
+}
+
+// corrupt* verify that no damaged entry is ever served: it is moved to the
+// quarantine directory and the lookup reports a miss.
+func TestDiskCacheQuarantinesCorruption(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped-byte": func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"bad-magic":    func(b []byte) []byte { b[0] ^= 0x40; return b },
+	}
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := OpenDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put("key", []byte("payload bytes")); err != nil {
+				t.Fatal(err)
+			}
+			path := c.path("key")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, f(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Get("key"); ok {
+				t.Fatalf("served a corrupt entry: %q", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry still in place")
+			}
+			q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine holds %d entries (err %v), want 1", len(q), err)
+			}
+			if c.Stats().Quarantined != 1 {
+				t.Error("quarantine not counted")
+			}
+			// The slot is reusable: a fresh Put serves again.
+			if err := c.Put("key", []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Get("key"); !ok || string(got) != "recomputed" {
+				t.Fatalf("after re-Put Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// A key collision on disk (an entry renamed over another key's filename)
+// must not serve the wrong payload.
+func TestDiskCacheRejectsWrongKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(c.path("a"), c.path("b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get("b"); ok {
+		t.Fatalf("served another key's entry: %q", got)
+	}
+}
+
+// A crash between temp-write and rename strands a .tmp file; reopening the
+// cache sweeps it and never serves it.
+func TestDiskCacheSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stranded := filepath.Join(dir, "deadbeef.entry.123.tmp")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stranded, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stranded); !os.IsNotExist(err) {
+		t.Error("stranded temp file survived reopen")
+	}
+}
+
+// Entries must verify cleanly when walked directly — the soak's no-torn-
+// entries check depends on decodeEntry rejecting anything inconsistent.
+func TestDiskCacheEntriesSelfDescribe(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k1", "k2", "k3"}
+	for _, k := range keys {
+		if err := c.Put(k, []byte("payload for "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name(), cacheExt) {
+			continue
+		}
+		entries++
+		raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := entryKey(t, raw)
+		if c.path(key) != filepath.Join(dir, f.Name()) {
+			t.Errorf("entry %s claims key %q, which hashes elsewhere", f.Name(), key)
+		}
+		if _, err := decodeEntry(raw, key); err != nil {
+			t.Errorf("entry %s does not verify: %v", f.Name(), err)
+		}
+	}
+	if entries != len(keys) {
+		t.Errorf("%d entries on disk, want %d", entries, len(keys))
+	}
+}
+
+// entryKey extracts the key line from a raw entry.
+func entryKey(t *testing.T, raw []byte) string {
+	t.Helper()
+	lines := bytes.SplitN(raw, []byte("\n"), 4)
+	if len(lines) < 4 {
+		t.Fatal("entry too short to carry a key line")
+	}
+	return string(lines[2])
+}

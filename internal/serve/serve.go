@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"procdecomp/internal/machine"
+)
+
+// Config tunes the server. The zero value takes the defaults below.
+type Config struct {
+	// QueueDepth bounds the admission queue (default 64). A request arriving
+	// at a full queue is shed immediately with 429 + Retry-After rather than
+	// queued without bound.
+	QueueDepth int
+	// Workers is the fixed evaluation pool size (default 4).
+	Workers int
+	// DefaultDeadline applies when a request carries no TimeoutMS (default
+	// 30s); MaxDeadline clamps what a request may ask for (default 2m). The
+	// deadline covers queue wait plus evaluation and propagates into the
+	// simulated machine, which aborts at its next cancellation point.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight work past it is
+	// canceled (default 10s).
+	DrainTimeout time.Duration
+	// Retries is how many times a panicking evaluation is retried before the
+	// request fails with 500 (default 2). Only panics retry — a compile or
+	// run error is deterministic and retrying it would waste the pool.
+	Retries int
+	// RetryBase/RetryMax shape the capped exponential backoff between panic
+	// retries (defaults 10ms, 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// CacheDir, when set, enables the persistent result cache.
+	CacheDir string
+	// PanicEvery is a chaos knob: every Nth evaluation panics on its first
+	// attempt (0 = off). It exists so the smoke test and the soak can drive
+	// the panic-isolation path deterministically.
+	PanicEvery int
+	// gate, when non-nil, is called by a worker after dequeuing a job and
+	// before evaluating it — a test seam: the soak holds workers here to
+	// fill the queue deterministically. Set before New; never mutated after.
+	gate func(j *job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	return c
+}
+
+// ErrKind classifies a failed job; it maps one-to-one onto an HTTP status.
+type ErrKind string
+
+const (
+	KindInvalid  ErrKind = "invalid"  // 400: rejected before any work
+	KindShed     ErrKind = "shed"     // 429: admission queue full
+	KindDraining ErrKind = "draining" // 503: server is shutting down
+	KindDeadline ErrKind = "deadline" // 504: request deadline exceeded
+	KindCanceled ErrKind = "canceled" // 503: aborted by server shutdown
+	KindFailed   ErrKind = "failed"   // 422: the program itself failed
+	KindPanic    ErrKind = "panic"    // 500: evaluation panicked, retries exhausted
+)
+
+// JobError is the typed failure of one request.
+type JobError struct {
+	Kind    ErrKind
+	Message string
+	// Attempts counts evaluation attempts, >1 only after panic retries.
+	Attempts int `json:",omitempty"`
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("serve: %s: %s", e.Kind, e.Message)
+}
+
+// HTTPStatus maps the failure kind to its response code.
+func (e *JobError) HTTPStatus() int {
+	switch e.Kind {
+	case KindInvalid:
+		return http.StatusBadRequest
+	case KindShed:
+		return http.StatusTooManyRequests
+	case KindDraining, KindCanceled:
+		return http.StatusServiceUnavailable
+	case KindDeadline:
+		return http.StatusGatewayTimeout
+	case KindFailed:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// job is one admitted request moving through the queue and pool.
+type job struct {
+	seq      uint64
+	endpoint string
+	req      Request
+	key      string
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{} // closed exactly once, when result/jerr are set
+	result   []byte
+	jerr     *JobError
+	// panicked marks that the chaos knob already fired for this job, so a
+	// retried attempt succeeds instead of panicking forever.
+	panicked bool
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Accepted  int64
+	Shed      int64
+	Rejected  int64 // refused while draining
+	Completed int64
+	Failed    int64
+	Panics    int64
+	Retries   int64
+	Cache     CacheStats
+}
+
+// Server is the fault-tolerant front of the toolchain. Create with New,
+// expose Handler on an http.Server, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *DiskCache
+
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	queue      chan *job
+	workers    sync.WaitGroup
+	admissions sync.WaitGroup // one count per job admitted and not yet finished
+
+	mu       sync.Mutex
+	draining bool
+	shutdown sync.Once
+
+	seq       atomic.Uint64
+	accepted  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	panics    atomic.Int64
+	retries   atomic.Int64
+}
+
+// New starts a server: opens the cache (if configured) and launches the
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth)}
+	s.baseCtx, s.abort = context.WithCancel(context.Background())
+	if cfg.CacheDir != "" {
+		c, err := OpenDiskCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted: s.accepted.Load(), Shed: s.shed.Load(), Rejected: s.rejected.Load(),
+		Completed: s.completed.Load(), Failed: s.failed.Load(),
+		Panics: s.panics.Load(), Retries: s.retries.Load(),
+		Cache: s.cache.Stats(),
+	}
+}
+
+// submit admits one request: it refuses while draining, sheds on a full
+// queue, and otherwise enqueues a job whose done channel the caller may wait
+// on. Admission and the draining flag are checked under one lock, so no job
+// can slip in after Shutdown has begun counting stragglers.
+func (s *Server) submit(endpoint string, req Request, key string) (*job, *JobError) {
+	deadline := s.cfg.DefaultDeadline
+	if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
+	}
+	s.admissions.Add(1)
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+	j := &job{
+		seq: s.seq.Add(1), endpoint: endpoint, req: req, key: key,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+		s.accepted.Add(1)
+		return j, nil
+	default:
+		cancel()
+		s.admissions.Done()
+		s.shed.Add(1)
+		return nil, &JobError{Kind: KindShed, Message: "admission queue full"}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+		j.cancel()
+		s.admissions.Done()
+	}
+}
+
+// runJob evaluates one job with panic isolation: a panicking attempt is
+// recorded, backed off, and retried up to cfg.Retries times; every exit path
+// closes j.done exactly once, so no caller is ever left waiting and no queue
+// slot is ever wedged.
+func (s *Server) runJob(j *job) {
+	defer close(j.done)
+	if s.cfg.gate != nil {
+		s.cfg.gate(j)
+	}
+	for attempt := 1; ; attempt++ {
+		if err := j.ctx.Err(); err != nil {
+			j.jerr = s.ctxError(err)
+			j.jerr.Attempts = attempt - 1
+			s.failed.Add(1)
+			return
+		}
+		out, err := s.attempt(j)
+		if err == nil {
+			j.result = out
+			s.completed.Add(1)
+			if s.cache != nil {
+				s.cache.Put(j.key, out)
+			}
+			return
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+			if attempt <= s.cfg.Retries {
+				s.retries.Add(1)
+				s.backoff(j.ctx, attempt)
+				continue
+			}
+			j.jerr = &JobError{Kind: KindPanic, Message: pe.Error(), Attempts: attempt}
+			s.failed.Add(1)
+			return
+		}
+		j.jerr = s.classify(j, err)
+		j.jerr.Attempts = attempt
+		s.failed.Add(1)
+		return
+	}
+}
+
+// attempt runs one evaluation under a recover, converting a panic — from the
+// chaos knob or from a genuine bug in a pipeline — into a *panicError value.
+func (s *Server) attempt(j *job) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: string(debug.Stack())}
+		}
+	}()
+	if n := s.cfg.PanicEvery; n > 0 && j.seq%uint64(n) == 0 && !j.panicked {
+		j.panicked = true
+		panic(fmt.Sprintf("chaos: injected panic on job %d", j.seq))
+	}
+	return evaluate(j.ctx, j.endpoint, j.req)
+}
+
+type panicError struct {
+	val   any
+	stack string
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("evaluation panicked: %v", e.val) }
+
+// backoff sleeps the capped exponential delay for the given attempt, waking
+// early if the job's deadline fires.
+func (s *Server) backoff(ctx context.Context, attempt int) {
+	d := s.cfg.RetryBase << (attempt - 1)
+	if d > s.cfg.RetryMax {
+		d = s.cfg.RetryMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// ctxError distinguishes a request that ran out its own deadline from one
+// aborted by server shutdown.
+func (s *Server) ctxError(err error) *JobError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &JobError{Kind: KindDeadline, Message: "request deadline exceeded"}
+	}
+	return &JobError{Kind: KindCanceled, Message: "server shut down before the request finished"}
+}
+
+// classify types an evaluation error.
+func (s *Server) classify(j *job, err error) *JobError {
+	if errors.Is(err, ErrInvalid) {
+		return &JobError{Kind: KindInvalid, Message: err.Error()}
+	}
+	// A run the machine aborted on our cancellation signal is a deadline or
+	// shutdown outcome, not a program failure.
+	if errors.Is(err, machine.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if ctxErr := j.ctx.Err(); ctxErr != nil {
+			return s.ctxError(ctxErr)
+		}
+	}
+	return &JobError{Kind: KindFailed, Message: err.Error()}
+}
+
+// Shutdown drains gracefully: new work is refused at the door, in-flight and
+// queued jobs get up to the drain timeout (bounded further by ctx) to
+// finish, stragglers are canceled, and the pool exits. Safe to call once;
+// later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdown.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+
+		drained := make(chan struct{})
+		go func() {
+			s.admissions.Wait()
+			close(drained)
+		}()
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			err = errors.New("serve: drain timeout; canceling in-flight work")
+			s.abort()
+			<-drained
+		case <-ctx.Done():
+			err = fmt.Errorf("serve: shutdown: %w", ctx.Err())
+			s.abort()
+			<-drained
+		}
+		close(s.queue)
+		s.workers.Wait()
+		s.abort()
+	})
+	return err
+}
+
+// Close shuts down immediately, canceling everything in flight.
+func (s *Server) Close() {
+	s.abort()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+}
+
+// Handler routes the service's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, ep := range endpoints {
+		ep := ep
+		mux.HandleFunc("POST "+ep, func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, ep) })
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+	return mux
+}
+
+const maxBodyBytes = 4 << 20
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, &JobError{Kind: KindInvalid, Message: "bad request body: " + err.Error()})
+		return
+	}
+	req, err := normalize(endpoint, req)
+	if err != nil {
+		s.writeError(w, &JobError{Kind: KindInvalid, Message: err.Error()})
+		return
+	}
+	key := contentKey(endpoint, req)
+
+	// Cache hits bypass admission entirely: they cost no pool time, so a
+	// saturated queue must not shed them.
+	if body, ok := s.cache.Get(key); ok {
+		s.writeResult(w, body, "hit")
+		return
+	}
+
+	j, jerr := s.submit(endpoint, req, key)
+	if jerr != nil {
+		s.writeError(w, jerr)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away. The job finishes in the background (its
+		// result still lands in the cache); this handler just leaves.
+		return
+	}
+	if j.jerr != nil {
+		s.writeError(w, j.jerr)
+		return
+	}
+	s.writeResult(w, j.result, "miss")
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, body []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, jerr *JobError) {
+	w.Header().Set("Content-Type", "application/json")
+	switch jerr.Kind {
+	case KindShed:
+		w.Header().Set("Retry-After", "1")
+	case KindDraining, KindCanceled:
+		w.Header().Set("Retry-After", "5")
+	}
+	w.WriteHeader(jerr.HTTPStatus())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(jerr)
+}

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const gsRun = `{"GS":true,"Procs":4,"Mode":"ctr","Defines":{"N":16}}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestServeRunEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{CacheDir: t.TempDir()})
+	resp, body := post(t, hs.URL+"/run", gsRun)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", got)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Makespan == 0 || rr.Messages == 0 {
+		t.Errorf("empty run result: %+v", rr)
+	}
+
+	// The identical request is a cache hit with byte-identical body.
+	resp2, body2 := post(t, hs.URL+"/run", gsRun)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached response differs from the computed one")
+	}
+
+	// A request differing only in deadline shares the entry.
+	resp3, body3 := post(t, hs.URL+"/run", `{"GS":true,"Procs":4,"Mode":"ctr","Defines":{"N":16},"TimeoutMS":5000}`)
+	if resp3.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body3) {
+		t.Error("a deadline-only difference missed the cache")
+	}
+}
+
+func TestServeCompileEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := post(t, hs.URL+"/compile", `{"GS":true,"Procs":4,"Mode":"opt3","Blk":8,"Defines":{"N":16}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Programs) == 0 || !strings.Contains(cr.Programs[0], "send") {
+		t.Errorf("generated C looks empty: %d programs", len(cr.Programs))
+	}
+}
+
+func TestServeTraceEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := post(t, hs.URL+"/trace", `{"GS":true,"Procs":4,"Mode":"opt3","Blk":8,"Defines":{"N":16}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("Attribution")) {
+		t.Error("trace response carries no attribution")
+	}
+}
+
+func TestServeSearchEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := post(t, hs.URL+"/search", `{"GS":true,"Procs":4,"Defines":{"N":16},"TopK":2,"Keep":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("Winner")) {
+		t.Error("search response names no winner")
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cases := []struct{ name, endpoint, body string }{
+		{"not-json", "/run", "{"},
+		{"unknown-field", "/run", `{"GS":true,"Bogus":1}`},
+		{"no-program", "/run", `{"Procs":4}`},
+		{"both-programs", "/run", `{"GS":true,"Source":"x"}`},
+		{"bad-procs", "/run", `{"GS":true,"Procs":-2}`},
+		{"bad-mode", "/run", `{"GS":true,"Mode":"opt9"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, hs.URL+tc.endpoint, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// A syntactically valid request whose program fails to compile is the
+// program's fault, not the protocol's: 422 with the compile error.
+func TestServeUnprocessableProgram(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := post(t, hs.URL+"/run", `{"Source":"this is not Idn","Entry":"main"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var je JobError
+	if err := json.Unmarshal(body, &je); err != nil {
+		t.Fatal(err)
+	}
+	if je.Kind != KindFailed || je.Message == "" {
+		t.Errorf("error body %+v", je)
+	}
+}
+
+// A request whose deadline expires while it waits in the queue comes back
+// 504, and the worker never wastes pool time evaluating it.
+func TestServeDeadlineExceeded(t *testing.T) {
+	cfg := Config{Workers: 1}
+	cfg.gate = func(j *job) { <-j.ctx.Done() } // hold the worker past every deadline
+	_, hs := newTestServer(t, cfg)
+	resp, body := post(t, hs.URL+"/run", `{"GS":true,"Defines":{"N":16},"TimeoutMS":50}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var je JobError
+	if err := json.Unmarshal(body, &je); err != nil {
+		t.Fatal(err)
+	}
+	if je.Kind != KindDeadline {
+		t.Errorf("kind %q, want %q", je.Kind, KindDeadline)
+	}
+}
+
+// With one worker held and a one-slot queue, the third concurrent request
+// must be shed immediately: 429 plus Retry-After, not an unbounded queue.
+func TestServeShedsOnFullQueue(t *testing.T) {
+	release := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 1}
+	cfg.gate = func(j *job) { <-release }
+	s, hs := newTestServer(t, cfg)
+	defer close(release)
+
+	// Occupy the worker, then the queue slot. Distinct bodies, so no cache
+	// interplay; poll stats until both are admitted. These goroutines may
+	// outlive the test body, so they must not touch t.
+	occupy := func(body string) {
+		resp, err := http.Post(hs.URL+"/run", "application/json", strings.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	go occupy(`{"GS":true,"Defines":{"N":16},"Procs":2}`)
+	go occupy(`{"GS":true,"Defines":{"N":16},"Procs":3}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Accepted < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("the first two requests were never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := post(t, hs.URL+"/run", `{"GS":true,"Defines":{"N":16},"Procs":4}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response has no Retry-After")
+	}
+	if s.Stats().Shed == 0 {
+		t.Error("shed not counted")
+	}
+}
+
+// Panic isolation: with the chaos knob set to panic on every job and retries
+// enabled, every request still succeeds; with retries disabled, the request
+// fails 500 with the panic recorded — the process survives either way.
+func TestServePanicIsolation(t *testing.T) {
+	t.Run("retried", func(t *testing.T) {
+		s, hs := newTestServer(t, Config{PanicEvery: 1, Retries: 2})
+		resp, body := post(t, hs.URL+"/run", gsRun)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		st := s.Stats()
+		if st.Panics == 0 || st.Retries == 0 {
+			t.Errorf("stats %+v recorded no panic/retry", st)
+		}
+	})
+	t.Run("exhausted", func(t *testing.T) {
+		// Retries: -1 means zero retries (the zero value defaults to 2).
+		_, hs := newTestServer(t, Config{PanicEvery: 1, Retries: -1})
+		resp, body := post(t, hs.URL+"/run", gsRun)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var je JobError
+		if err := json.Unmarshal(body, &je); err != nil {
+			t.Fatal(err)
+		}
+		if je.Kind != KindPanic || !strings.Contains(je.Message, "chaos") {
+			t.Errorf("error body %+v", je)
+		}
+	})
+}
+
+// Graceful shutdown: a request in flight when Shutdown begins completes; a
+// request arriving after it begins is refused 503 + Retry-After.
+func TestServeGracefulDrain(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	cfg := Config{Workers: 1, DrainTimeout: 5 * time.Second}
+	cfg.gate = func(j *job) { started <- struct{}{}; <-release }
+	s, hs := newTestServer(t, cfg)
+
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		resp, body := post(t, hs.URL+"/run", gsRun)
+		inflight <- outcome{resp.StatusCode, body}
+	}()
+	<-started // the job is on a worker
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	// Draining begins promptly; a new request is turned away at the door.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := post(t, hs.URL+"/run", `{"GS":true,"Defines":{"N":16},"Procs":2}`)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("draining response has no Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started refusing new work")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release) // let the in-flight job finish
+	if got := <-inflight; got.status != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain: %s", got.status, got.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain reported %v", err)
+	}
+}
+
+// A hard drain deadline cancels stragglers instead of hanging shutdown.
+func TestServeDrainTimeoutCancels(t *testing.T) {
+	cfg := Config{Workers: 1, DrainTimeout: 50 * time.Millisecond}
+	cfg.gate = func(j *job) { <-j.ctx.Done() } // the job never finishes on its own
+	s, hs := newTestServer(t, cfg)
+
+	done := make(chan outcomePair, 1)
+	go func() {
+		resp, body := post(t, hs.URL+"/run", gsRun)
+		done <- outcomePair{resp.StatusCode, body}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.Shutdown(context.Background()); err == nil {
+		t.Error("a timed-out drain should report that it canceled work")
+	}
+	select {
+	case o := <-done:
+		if o.status != http.StatusServiceUnavailable {
+			t.Errorf("canceled straggler got %d: %s", o.status, o.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("the straggler's handler hung after shutdown")
+	}
+}
+
+type outcomePair struct {
+	status int
+	body   []byte
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SmokeConfig drives one smoke run: a live server on a loopback listener,
+// hammered with concurrent requests through injected worker panics, every
+// request required to resolve.
+type SmokeConfig struct {
+	Requests    int // total requests (default 60)
+	Concurrency int // concurrent clients (default 8)
+	Server      Config
+}
+
+// SmokeReport is the benchmark artifact (BENCH_pdserve.json in CI).
+type SmokeReport struct {
+	Requests    int
+	Concurrency int
+	OK          int
+	Errors      []string `json:",omitempty"`
+	// Panics/Retries confirm the chaos knob actually exercised the
+	// isolation path; a smoke run that injected nothing proves nothing.
+	Panics  int64
+	Retries int64
+	// Throughput and latency over the whole run.
+	ThroughputRPS float64
+	P50Ms         float64
+	P99Ms         float64
+	CacheHits     int64
+	CacheHitRate  float64
+	Shed          int64
+}
+
+// smokeBodies is the request mix: distinct programs for misses, repeats for
+// hits. Small N keeps a smoke run fast even under -race.
+func smokeBodies() []struct{ endpoint, body string } {
+	return []struct{ endpoint, body string }{
+		{"/run", `{"GS":true,"Procs":4,"Mode":"ctr","Defines":{"N":16}}`},
+		{"/run", `{"GS":true,"Procs":4,"Mode":"opt3","Blk":8,"Defines":{"N":16}}`},
+		{"/compile", `{"GS":true,"Procs":4,"Mode":"opt2","Defines":{"N":16}}`},
+		{"/trace", `{"GS":true,"Procs":4,"Mode":"opt3","Blk":8,"Defines":{"N":16}}`},
+		{"/run", `{"GS":true,"Procs":8,"Mode":"opt1","Defines":{"N":16}}`},
+	}
+}
+
+// Smoke runs the self-check: start a server (with the chaos panic knob on
+// unless the caller disabled it), fire the configured load over real HTTP,
+// require every request to resolve with 200, and report throughput,
+// latency quantiles, and the cache hit rate.
+func Smoke(cfg SmokeConfig) (*SmokeReport, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 60
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Server.PanicEvery == 0 {
+		// Most of the mix is repeats answered from the cache, so only a
+		// handful of jobs ever reach the pool; every other one must panic
+		// for the isolation path to be exercised at all.
+		cfg.Server.PanicEvery = 2
+	}
+	if cfg.Server.QueueDepth == 0 {
+		// The smoke asserts universal success, so the queue must absorb the
+		// whole client herd; the soak test covers shedding.
+		cfg.Server.QueueDepth = cfg.Requests
+	}
+	if cfg.Server.CacheDir == "" {
+		// A throwaway cache, so the hit-rate number in the report reflects a
+		// real cache path rather than a disabled one.
+		dir, err := os.MkdirTemp("", "pdserve-smoke-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Server.CacheDir = dir
+	}
+	s, err := New(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	bodies := smokeBodies()
+	latencies := make([]time.Duration, cfg.Requests)
+	errs := make([]string, cfg.Requests)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	start := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			b := bodies[i%len(bodies)]
+			t0 := time.Now()
+			resp, err := http.Post(base+b.endpoint, "application/json", bytes.NewReader([]byte(b.body)))
+			latencies[i] = time.Since(t0)
+			if err != nil {
+				errs[i] = fmt.Sprintf("request %d: %v", i, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Sprintf("request %d (%s): status %d: %.120s", i, b.endpoint, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hs.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+	st := s.Stats()
+
+	rep := &SmokeReport{
+		Requests: cfg.Requests, Concurrency: cfg.Concurrency,
+		Panics: st.Panics, Retries: st.Retries,
+		CacheHits: st.Cache.Hits, Shed: st.Shed,
+		ThroughputRPS: float64(cfg.Requests) / elapsed.Seconds(),
+	}
+	for _, e := range errs {
+		if e == "" {
+			rep.OK++
+		} else {
+			rep.Errors = append(rep.Errors, e)
+		}
+	}
+	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+		rep.CacheHitRate = float64(st.Cache.Hits) / float64(total)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50Ms = quantileMs(latencies, 0.50)
+	rep.P99Ms = quantileMs(latencies, 0.99)
+
+	if rep.OK != cfg.Requests {
+		return rep, fmt.Errorf("smoke: %d of %d requests failed (first: %s)",
+			len(rep.Errors), cfg.Requests, rep.Errors[0])
+	}
+	if cfg.Server.PanicEvery > 0 && st.Panics == 0 {
+		return rep, fmt.Errorf("smoke: the chaos knob injected no panics — the isolation path went unexercised")
+	}
+	return rep, nil
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// WriteJSON emits the report, indented and newline-terminated.
+func (r *SmokeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
