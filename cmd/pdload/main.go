@@ -1,0 +1,113 @@
+// Command pdload is the overload harness for pdserve: it boots an
+// in-process server, waits for /readyz, and drives thousands of concurrent
+// mixed requests — synchronous endpoints, durable async jobs, NDJSON event
+// streams, deadline-doomed requests, mid-flight disconnects, and injected
+// panics — then reports latency percentiles and the robustness gates:
+// zero hung operations, every acknowledged job terminal, and byte-identical
+// bodies for equal request identities.
+//
+// Usage:
+//
+//	pdload                         # 5000 requests, 2000 clients, 2 seeded runs
+//	pdload -requests 2000 -concurrency 500 -repeat 1
+//	pdload -json BENCH_load.json   # also write the first run's report
+//
+// With -repeat > 1 every run uses the same seed against a fresh server and
+// the digests of later runs must match the first — the cross-run half of
+// the determinism gate. The exit status is non-zero when any gate fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"procdecomp/internal/load"
+	"procdecomp/internal/serve"
+)
+
+func main() {
+	var (
+		requests    = flag.Int("requests", 5000, "total operations per run")
+		concurrency = flag.Int("concurrency", 2000, "concurrent client goroutines")
+		seed        = flag.Uint64("seed", 1, "seed for the request mix, tenants, timeouts and disconnects")
+		repeat      = flag.Int("repeat", 2, "seeded runs; later runs must reproduce the first run's bytes")
+		queue       = flag.Int("queue", 64, "server admission queue depth")
+		workers     = flag.Int("workers", 4, "server worker pool size")
+		panicEvery  = flag.Int("chaos-panic-every", 13, "server chaos: every Nth evaluation panics once (0 = off)")
+		degradeAt   = flag.Float64("degrade-at", 0.5, "server occupancy past which /search degrades")
+		timeout     = flag.Duration("client-timeout", 60*time.Second, "per-operation hang bound")
+		jsonOut     = flag.String("json", "", "write the first run's report to this file")
+	)
+	flag.Parse()
+
+	cfg := load.Config{
+		Requests: *requests, Concurrency: *concurrency, Seed: *seed,
+		ClientTimeout: *timeout,
+		Server: serve.Config{
+			QueueDepth: *queue, Workers: *workers,
+			PanicEvery: *panicEvery, DegradeAt: *degradeAt,
+			AdmitSeed: *seed,
+		},
+	}
+
+	var first *load.Report
+	failed := false
+	for run := 1; run <= *repeat; run++ {
+		rep, err := load.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pdload: run %d/%d: %d ops in %dms  p50 %.1fms p99 %.1fms p999 %.1fms  hung %d  jobs %d/%d terminal  degraded %d  shed %d  doomed %d\n",
+			run, *repeat, rep.Requests, rep.ElapsedMS,
+			rep.Latency.P50, rep.Latency.P99, rep.Latency.P999,
+			rep.Hung, rep.JobsTerminal, rep.JobsSubmitted,
+			rep.Stats.Degraded, rep.Stats.Shed, rep.Stats.Doomed)
+		if err := rep.Gate(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdload:", err)
+			failed = true
+		}
+		if first == nil {
+			first = rep
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := rep.WriteJSON(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			continue
+		}
+		if bad := load.CompareDigests(first.Digests, rep.Digests); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "pdload: run %d bytes differ from run 1 for %d identities: %v\n", run, len(bad), bad)
+			failed = true
+		} else {
+			fmt.Printf("pdload: run %d reproduced run 1 byte-for-byte on %d shared identities\n", run, shared(first.Digests, rep.Digests))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func shared(a, b map[string]string) int {
+	n := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdload:", err)
+	os.Exit(1)
+}

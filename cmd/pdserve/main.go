@@ -1,9 +1,14 @@
 // Command pdserve runs the toolchain as a long-lived HTTP service: POST
 // /compile, /run, /search, /trace with the same semantics as the pdc, pdrun,
 // pdmap and pdtrace commands, plus the robustness a shared service needs —
-// a bounded admission queue with load shedding, per-request deadlines,
-// panic-isolated workers with retries, graceful drain on SIGTERM, and a
-// crash-safe persistent result cache.
+// a bounded admission queue with adaptive load shedding, per-request
+// deadlines, panic-isolated workers with retries, graceful drain on SIGTERM,
+// and a crash-safe persistent result cache.
+//
+// Beyond the synchronous endpoints, POST /jobs accepts durable async jobs
+// (journaled before the 202, re-run after a crash), GET /jobs/<id> serves a
+// job's result, GET /jobs/<id>/events streams its NDJSON progress, and
+// /healthz and /readyz report liveness and readiness.
 //
 // Usage:
 //
@@ -36,8 +41,11 @@ func main() {
 		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		maxDL      = flag.Duration("max-deadline", 2*time.Minute, "largest deadline a request may ask for")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
-		cacheDir   = flag.String("cache", "", "persistent result cache directory (empty = no cache)")
+		cacheDir   = flag.String("cache", "", "persistent result cache + job journal directory (empty = neither)")
 		retries    = flag.Int("retries", 2, "retries for a panicking evaluation before the request fails")
+		fairAt     = flag.Float64("fair-share-at", 0.5, "queue occupancy at which per-tenant fair-share caps engage (>=1 disables)")
+		degradeAt  = flag.Float64("degrade-at", 0.75, "smoothed occupancy past which /search degrades to a bounded budget (>=1 disables)")
+		degKeep    = flag.Int("degrade-keep", 4, "degraded /search candidate budget")
 		panicEvery = flag.Int("chaos-panic-every", 0, "chaos: every Nth evaluation panics once (0 = off)")
 		smoke      = flag.Bool("smoke", false, "self-check: start a server, drive concurrent load through injected panics, report, exit")
 		smokeN     = flag.Int("smoke-requests", 60, "smoke request count")
@@ -50,6 +58,7 @@ func main() {
 		QueueDepth: *queue, Workers: *workers,
 		DefaultDeadline: *deadline, MaxDeadline: *maxDL, DrainTimeout: *drain,
 		Retries: *retries, CacheDir: *cacheDir, PanicEvery: *panicEvery,
+		FairShareAt: *fairAt, DegradeAt: *degradeAt, DegradeKeep: *degKeep,
 	}
 
 	if *smoke {
@@ -102,10 +111,14 @@ func main() {
 	fmt.Println("pdserve: draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 	defer cancel()
-	hs.Shutdown(shutCtx)
+	// Drain the server first: every job reaches a terminal state and every
+	// open event stream receives its terminal NDJSON event while the
+	// listener is still up. Only then close the listener — the other order
+	// would cut live streams off mid-job.
 	if err := s.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "pdserve:", err)
 	}
+	hs.Shutdown(shutCtx)
 	st := s.Stats()
 	fmt.Printf("pdserve: done: %d completed, %d failed, %d shed, %d panics isolated\n",
 		st.Completed, st.Failed, st.Shed, st.Panics)

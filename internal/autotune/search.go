@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"procdecomp/internal/analysis"
 	"procdecomp/internal/dist"
@@ -106,10 +107,40 @@ type Options struct {
 	// Default: the paper's hand choice — cyclic columns over the whole
 	// machine, fully optimized (opt3) with block size 8.
 	Hand *Candidate
+	// Progress, when non-nil, receives coarse search progress: the anchored
+	// baseline, each tier transition with done/total counts, a partial
+	// ranking after the prediction tier, every confirmed measurement, and
+	// the winner. Calls from the measurement tier arrive concurrently from
+	// the worker pool; the callback must be safe for concurrent use and
+	// must return promptly. It is observational only — the search's report
+	// is bit-identical with or without it.
+	Progress func(Progress)
 	// evalHook, when non-nil, is called before each candidate evaluation
 	// (stage "static" for the tier-1 walk, "measure" for a tier-3 run) — a
 	// test seam for injecting panics into the worker pool.
 	evalHook func(stage string, c Candidate)
+}
+
+// Progress is one coarse progress report from a running search — which
+// tier just finished (or which candidate was just measured), how much of
+// the tier is done, and a partial ranking where one exists. Stages arrive
+// in order baseline, enumerated, static, predicted, then one measured per
+// confirmed candidate (concurrently), then winner.
+type Progress struct {
+	// Stage is "baseline", "enumerated", "static", "predicted",
+	// "measured", or "winner".
+	Stage string
+	// Done/Total count the stage's progress (candidates walked, predicted,
+	// or measured so far, out of the tier's population).
+	Done, Total int
+	// Candidate names the subject of a "measured" or "winner" report.
+	Candidate string `json:",omitempty"`
+	// Makespan is the baseline measurement, a measured candidate's
+	// makespan, or the winner's makespan, depending on Stage.
+	Makespan uint64 `json:",omitempty"`
+	// Top is the partial ranking at the "predicted" stage: the
+	// best-predicted candidate keys, best first.
+	Top []string `json:",omitempty"`
 }
 
 // ErrEvalPanic marks a candidate evaluation that panicked. The Search worker
@@ -320,6 +351,11 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 	}
 
 	rep := &Report{Workload: w.Name, Procs: cfg.Procs, Defines: w.Defines, Hand: hand.Key()}
+	emit := func(p Progress) {
+		if opts.Progress != nil {
+			opts.Progress(p)
+		}
+	}
 
 	// Anchor: run the program as annotated, traced, and demand that both the
 	// dump's identity replay and the walker's prediction reproduce the
@@ -330,6 +366,7 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		}
 		return nil, err
 	}
+	emit(Progress{Stage: "baseline", Makespan: rep.Baseline.Measured})
 
 	// Enumerate, forcing the hand-chosen reference in so the winner is never
 	// worse than it.
@@ -339,6 +376,7 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		cands = append(cands, hand)
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
 	}
+	emit(Progress{Stage: "enumerated", Total: len(cands)})
 
 	// Tier 1: compile and walk everything. Each evaluation runs under a
 	// recover, so a candidate whose compilation or walk panics is recorded
@@ -388,6 +426,7 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 	// branch-and-bound, not a heuristic: a pruned candidate provably cannot
 	// win. Keep forces at least that many replays regardless of the bound.
 	modeled := indicesWhere(results, func(r Result) bool { return r.Status == StatusPruned })
+	emit(Progress{Stage: "static", Done: len(modeled), Total: len(cands)})
 	sort.SliceStable(modeled, func(a, b int) bool {
 		ra, rb := results[modeled[a]], results[modeled[b]]
 		if ra.Static != rb.Static {
@@ -430,6 +469,16 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		}
 		return ra.Candidate.Key() < rb.Candidate.Key()
 	})
+	if opts.Progress != nil {
+		top := make([]string, 0, 5)
+		for _, i := range predicted {
+			if len(top) == 5 {
+				break
+			}
+			top = append(top, results[i].Candidate.Key())
+		}
+		emit(Progress{Stage: "predicted", Done: len(predicted), Total: len(modeled), Top: top})
+	}
 	toMeasure := map[int]bool{}
 	for n, i := range predicted {
 		if n < opts.TopK || results[i].Candidate.Key() == hand.Key() {
@@ -452,6 +501,7 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 
 	// Tier 3: confirm on the simulated machine, through the cache.
 	errs := make([]error, len(mIdx))
+	var measuredSoFar atomic.Int64
 	forEach(len(mIdx), opts.Workers, func(n int) {
 		i := mIdx[n]
 		key := CacheKey(w, results[i].Candidate, cfg)
@@ -469,6 +519,8 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		results[i].Measured = m.Makespan
 		results[i].Messages = m.Messages
 		results[i].Values = m.Values
+		emit(Progress{Stage: "measured", Candidate: results[i].Candidate.Key(),
+			Makespan: m.Makespan, Done: int(measuredSoFar.Add(1)), Total: len(mIdx)})
 	})
 	if err := ctx.Err(); err != nil {
 		return interrupted(rep, results, err)
@@ -541,6 +593,7 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		return nil, fmt.Errorf("autotune: winner attribution: %w", err)
 	}
 	rep.Attr = cp.Attr
+	emit(Progress{Stage: "winner", Candidate: rep.Winner, Makespan: m2.Makespan})
 
 	rep.Results = orderResults(results)
 	return rep, nil

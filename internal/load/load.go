@@ -1,0 +1,655 @@
+// Package load is the overload harness for the serve package: it boots an
+// in-process pdserve (real TCP listener, real HTTP clients), gates on
+// /readyz, and drives thousands of concurrent mixed requests — synchronous
+// compile/run/search/trace, durable async jobs, NDJSON event streams, doomed
+// deadlines, mid-flight client disconnects, and server-injected panics —
+// recording latency percentiles, every outcome class, and the two
+// robustness gates the service promises under overload:
+//
+//   - no hung connections: every request reaches a terminal outcome inside
+//     the harness's generous client bound, even while the server sheds,
+//     degrades, panics, and retries;
+//   - determinism under chaos: every 200 body is hashed under its
+//     (template, degradation-budget) identity, and two bodies with the same
+//     identity must be byte-identical — within a run and across repeated
+//     seeded runs.
+package load
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"procdecomp/internal/serve"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Requests is the total operation count (default 5000); Concurrency the
+	// number of concurrent client goroutines (default 2000 — more clients
+	// than the server has queue slots, which is the point).
+	Requests    int
+	Concurrency int
+	// Seed drives every random choice: the request mix, tenants, timeouts,
+	// and disconnects. Equal seeds produce equal request sequences.
+	Seed uint64
+	// Server configures the in-process server under test. Zero values take
+	// the serve defaults; the harness leaves chaos knobs to the caller.
+	Server serve.Config
+	// ClientTimeout is the per-operation hang bound (default 60s): an
+	// operation still unresolved past it counts as hung, which fails the
+	// harness's gate.
+	ClientTimeout time.Duration
+	// JobPoll is the async-job poll interval (default 5ms).
+	JobPoll time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 5000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2000
+	}
+	if c.ClientTimeout <= 0 {
+		c.ClientTimeout = 60 * time.Second
+	}
+	if c.JobPoll <= 0 {
+		c.JobPoll = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Percentiles are latency quantiles in milliseconds.
+type Percentiles struct {
+	P50  float64
+	P99  float64
+	P999 float64
+	Max  float64
+}
+
+// Report is the harness's outcome. The gates a CI run should assert on:
+// Hung == 0, JobsSubmitted == JobsTerminal, DigestConflicts == 0.
+type Report struct {
+	Requests    int
+	Concurrency int
+	Seed        uint64
+	ElapsedMS   int64
+
+	// Statuses counts final HTTP statuses ("200", "429", ...); "disconnect"
+	// counts operations the harness itself abandoned mid-flight on purpose.
+	Statuses map[string]int
+
+	Sync        int // synchronous endpoint operations
+	Jobs        int // POST /jobs + poll-to-terminal operations
+	Streams     int // POST /jobs + follow /events operations
+	Disconnects int // operations canceled mid-flight by design
+
+	Hung            int // operations with no outcome inside ClientTimeout
+	JobsSubmitted   int // 202-acknowledged async jobs
+	JobsTerminal    int // of those, observed in a terminal state
+	StreamsOpened   int
+	StreamsTerminal int // streams that delivered a terminal event
+	DegradedReplies int // 200s carrying a degraded-budget marker
+
+	Latency Percentiles
+
+	// Digests maps each (template, degradation-budget) identity to the
+	// sha256 of its response body; DigestConflicts counts identities that
+	// produced two different bodies in this run (must be 0).
+	Digests         map[string]string
+	DigestConflicts int
+
+	// Stats is the server's own view after drain.
+	Stats serve.Stats
+}
+
+// template is one deterministic request shape in the mix.
+type template struct {
+	key      string
+	endpoint string
+	body     serve.Request
+}
+
+// templates returns the fixed request mix. Searches are rare and bounded
+// (they dominate evaluation cost); most shapes repeat, so the cache and the
+// byte-identity gate both get heavy traffic.
+func templates() []template {
+	var ts []template
+	add := func(key, ep string, req serve.Request) {
+		ts = append(ts, template{key: key, endpoint: ep, body: req})
+	}
+	// A small grid keeps one evaluation cheap, so the harness measures the
+	// server's overload machinery rather than the simulator's throughput.
+	n := map[string]int64{"N": 16}
+	for _, procs := range []int{2, 4} {
+		for _, mode := range []string{"ctr", "opt2"} {
+			add(fmt.Sprintf("compile-p%d-%s", procs, mode), "/compile",
+				serve.Request{GS: true, Procs: procs, Mode: mode, Defines: n})
+		}
+		for _, blk := range []int64{4, 8} {
+			add(fmt.Sprintf("compile-p%d-opt3b%d", procs, blk), "/compile",
+				serve.Request{GS: true, Procs: procs, Mode: "opt3", Blk: blk, Defines: n})
+		}
+		add(fmt.Sprintf("run-p%d-opt2", procs), "/run",
+			serve.Request{GS: true, Procs: procs, Mode: "opt2", Defines: n})
+		add(fmt.Sprintf("run-p%d-opt3b8", procs), "/run",
+			serve.Request{GS: true, Procs: procs, Mode: "opt3", Blk: 8, Defines: n})
+	}
+	add("trace-p2-opt3b8", "/trace", serve.Request{GS: true, Procs: 2, Mode: "opt3", Blk: 8, Defines: n})
+	add("search-p2", "/search", serve.Request{GS: true, Procs: 2, Keep: 6, TopK: 2, Defines: n})
+	// Deterministic failures keep the error paths hot: a semantic error
+	// (422) and a request-shape error (400).
+	add("bad-sem", "/run", serve.Request{Source: "proc main() { x := nope(); }", Entry: "main"})
+	add("bad-shape", "/run", serve.Request{GS: true, Source: "dead", Entry: "main"})
+	return ts
+}
+
+// opKind is what one operation does with its template.
+type opKind int
+
+const (
+	opSync opKind = iota
+	opJob
+	opStream
+	opDisconnect
+	opDoomed
+)
+
+// plan is the deterministic schedule for one operation index.
+type plan struct {
+	kind    opKind
+	tmpl    int
+	tenant  string
+	cancelMS int // opDisconnect: client abandons after this many ms
+}
+
+// planFor derives operation i's plan from the seed alone, so the request
+// sequence is a pure function of (seed, i) regardless of goroutine
+// interleaving.
+func planFor(seed uint64, i, ntmpl int) plan {
+	rng := rand.New(rand.NewSource(int64(mix(seed, uint64(i)))))
+	p := plan{tmpl: rng.Intn(ntmpl), tenant: fmt.Sprintf("tenant-%d", rng.Intn(4))}
+	switch roll := rng.Intn(100); {
+	case roll < 64:
+		p.kind = opSync
+	case roll < 79:
+		p.kind = opJob
+	case roll < 92:
+		p.kind = opStream
+	case roll < 96:
+		p.kind = opDisconnect
+		p.cancelMS = 1 + rng.Intn(20)
+	default:
+		p.kind = opDoomed
+	}
+	return p
+}
+
+// mix is splitmix64's finalizer — the same deterministic hash the server
+// uses for Retry-After jitter.
+func mix(seed, i uint64) uint64 {
+	x := seed ^ (i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Run executes one load run against a fresh in-process server and returns
+// the report. The server is drained (not killed) at the end, so its own
+// counters in Report.Stats are complete. With no Server.CacheDir, each run
+// gets a fresh temporary cache + journal directory (removed afterwards), so
+// the durable-job and cache paths are always under load.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Server.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "pdload-cache-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Server.CacheDir = dir
+	}
+	s, err := serve.New(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency,
+		MaxIdleConnsPerHost: cfg.Concurrency,
+	}}
+
+	// Gate on readiness: the server only reports ready once journal
+	// recovery is complete, so no request can race the recovery sweep.
+	if err := awaitReady(client, base); err != nil {
+		hs.Close()
+		s.Close()
+		return nil, err
+	}
+
+	h := &harness{cfg: cfg, base: base, client: client,
+		tmpls: templates(), digests: map[string]string{}, statuses: map[string]int{}}
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				h.operate(i)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Drain the server first (terminal events flush to any stream the
+	// harness left open), then the listener.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Shutdown(shutCtx)
+	hs.Shutdown(shutCtx)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := &Report{
+		Requests: cfg.Requests, Concurrency: cfg.Concurrency, Seed: cfg.Seed,
+		ElapsedMS: elapsed.Milliseconds(),
+		Statuses:  h.statuses,
+		Sync:      h.sync, Jobs: h.jobs, Streams: h.streams, Disconnects: h.disconnects,
+		Hung: h.hung, JobsSubmitted: h.jobsSubmitted, JobsTerminal: h.jobsTerminal,
+		StreamsOpened: h.streamsOpened, StreamsTerminal: h.streamsTerminal,
+		DegradedReplies: h.degraded,
+		Latency:         percentiles(h.latencies),
+		Digests:         h.digests, DigestConflicts: h.conflicts,
+		Stats: s.Stats(),
+	}
+	return rep, nil
+}
+
+func awaitReady(client *http.Client, base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("load: server never became ready: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+type harness struct {
+	cfg    Config
+	base   string
+	client *http.Client
+	tmpls  []template
+
+	mu              sync.Mutex
+	statuses        map[string]int
+	latencies       []float64
+	digests         map[string]string
+	conflicts       int
+	sync, jobs      int
+	streams         int
+	disconnects     int
+	hung            int
+	jobsSubmitted   int
+	jobsTerminal    int
+	streamsOpened   int
+	streamsTerminal int
+	degraded        int
+}
+
+func (h *harness) count(status string) {
+	h.mu.Lock()
+	h.statuses[status]++
+	h.mu.Unlock()
+}
+
+func (h *harness) latency(d time.Duration) {
+	h.mu.Lock()
+	h.latencies = append(h.latencies, float64(d.Microseconds())/1000)
+	h.mu.Unlock()
+}
+
+// record hashes a 200 body under its (template, budget) identity and flags
+// any identity that ever produces different bytes.
+func (h *harness) record(tmplKey, budget string, body []byte) {
+	key := tmplKey
+	if budget != "" {
+		key += "@b" + budget
+	}
+	sum := sha256.Sum256(body)
+	digest := hex.EncodeToString(sum[:])
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if budget != "" {
+		h.degraded++
+	}
+	if prev, ok := h.digests[key]; ok {
+		if prev != digest {
+			h.conflicts++
+		}
+		return
+	}
+	h.digests[key] = digest
+}
+
+func (h *harness) operate(i int) {
+	p := planFor(h.cfg.Seed, i, len(h.tmpls))
+	t := h.tmpls[p.tmpl]
+	switch p.kind {
+	case opSync:
+		h.mu.Lock()
+		h.sync++
+		h.mu.Unlock()
+		h.doSync(t, p, 0)
+	case opDoomed:
+		h.mu.Lock()
+		h.sync++
+		h.mu.Unlock()
+		// A 1ms budget is doomed the moment there is any queue: the server
+		// should shed it at admission (504) or, if idle, still answer.
+		h.doSync(t, p, 1)
+	case opDisconnect:
+		h.mu.Lock()
+		h.disconnects++
+		h.mu.Unlock()
+		h.doDisconnect(t, p)
+	case opJob:
+		h.mu.Lock()
+		h.jobs++
+		h.mu.Unlock()
+		h.doJob(t, p, false)
+	case opStream:
+		h.mu.Lock()
+		h.streams++
+		h.mu.Unlock()
+		h.doJob(t, p, true)
+	}
+}
+
+func (h *harness) post(ctx context.Context, path string, tenant string, payload any) (*http.Response, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", h.base+path, strings.NewReader(string(b)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	return h.client.Do(req)
+}
+
+func (h *harness) doSync(t template, p plan, timeoutMS int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ClientTimeout)
+	defer cancel()
+	body := t.body
+	body.TimeoutMS = timeoutMS
+	start := time.Now()
+	resp, err := h.post(ctx, t.endpoint, p.tenant, body)
+	if err != nil {
+		if ctx.Err() != nil {
+			h.markHung()
+			return
+		}
+		h.count("error")
+		return
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	h.latency(time.Since(start))
+	if err != nil {
+		if ctx.Err() != nil {
+			h.markHung()
+			return
+		}
+		h.count("error")
+		return
+	}
+	h.count(fmt.Sprint(resp.StatusCode))
+	if resp.StatusCode == http.StatusOK {
+		h.record(t.key, resp.Header.Get("X-Degraded"), payload)
+	}
+}
+
+func (h *harness) doDisconnect(t template, p plan) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(p.cancelMS)*time.Millisecond)
+	defer cancel()
+	resp, err := h.post(ctx, t.endpoint, p.tenant, t.body)
+	if err != nil {
+		h.count("disconnect")
+		return
+	}
+	// The response beat the disconnect timer; drain it like a normal reply.
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	h.count(fmt.Sprint(resp.StatusCode))
+}
+
+func (h *harness) markHung() {
+	h.mu.Lock()
+	h.hung++
+	h.mu.Unlock()
+}
+
+type jobAck struct {
+	ID       string
+	Status   string
+	Degraded int
+}
+
+func (h *harness) doJob(t template, p plan, stream bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ClientTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := h.post(ctx, "/jobs", p.tenant, struct {
+		Endpoint string
+		Request  serve.Request
+	}{t.endpoint, t.body})
+	if err != nil {
+		if ctx.Err() != nil {
+			h.markHung()
+			return
+		}
+		h.count("error")
+		return
+	}
+	ackBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	h.latency(time.Since(start))
+	if err != nil {
+		h.count("error")
+		return
+	}
+	h.count(fmt.Sprint(resp.StatusCode))
+	if resp.StatusCode != http.StatusAccepted {
+		return // shed, rejected, invalid: a terminal outcome in itself
+	}
+	var ack jobAck
+	if err := json.Unmarshal(ackBody, &ack); err != nil {
+		h.count("error")
+		return
+	}
+	h.mu.Lock()
+	h.jobsSubmitted++
+	h.mu.Unlock()
+
+	if stream {
+		h.mu.Lock()
+		h.streamsOpened++
+		h.mu.Unlock()
+		if h.followStream(ctx, ack.ID) {
+			h.mu.Lock()
+			h.streamsTerminal++
+			h.mu.Unlock()
+		} else {
+			h.markHung()
+			return
+		}
+	}
+
+	// Poll the job to its terminal state and fetch the result bytes.
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", h.base+"/jobs/"+ack.ID, nil)
+		if err != nil {
+			h.count("error")
+			return
+		}
+		resp, err := h.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				h.markHung()
+			} else {
+				h.count("error")
+			}
+			return
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			h.count("error")
+			return
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			select {
+			case <-time.After(h.cfg.JobPoll):
+				continue
+			case <-ctx.Done():
+				h.markHung()
+				return
+			}
+		}
+		h.mu.Lock()
+		h.jobsTerminal++
+		h.mu.Unlock()
+		if resp.StatusCode == http.StatusOK {
+			h.record(t.key, resp.Header.Get("X-Degraded"), payload)
+		}
+		return
+	}
+}
+
+// followStream reads the job's NDJSON event stream to its terminal event.
+// Returns false if the stream ended (or the client gave up) without one.
+func (h *harness) followStream(ctx context.Context, id string) bool {
+	req, err := http.NewRequestWithContext(ctx, "GET", h.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var ev struct {
+			Terminal bool
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return false
+		}
+		if ev.Terminal {
+			return true
+		}
+	}
+	return false
+}
+
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)))
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Percentiles{P50: at(0.50), P99: at(0.99), P999: at(0.999), Max: s[len(s)-1]}
+}
+
+// WriteJSON writes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Gate returns an error when a robustness gate fails: a hung operation, a
+// non-terminal acknowledged job, or a byte-identity conflict.
+func (r *Report) Gate() error {
+	var problems []string
+	if r.Hung > 0 {
+		problems = append(problems, fmt.Sprintf("%d hung operations", r.Hung))
+	}
+	if r.JobsTerminal != r.JobsSubmitted {
+		problems = append(problems, fmt.Sprintf("%d of %d jobs not terminal", r.JobsSubmitted-r.JobsTerminal, r.JobsSubmitted))
+	}
+	if r.DigestConflicts > 0 {
+		problems = append(problems, fmt.Sprintf("%d byte-identity conflicts", r.DigestConflicts))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("load: gate failed: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// CompareDigests checks two seeded runs for byte-identity on every shared
+// (template, budget) identity and returns the mismatched keys.
+func CompareDigests(a, b map[string]string) []string {
+	var bad []string
+	for k, av := range a {
+		if bv, ok := b[k]; ok && av != bv {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

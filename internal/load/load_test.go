@@ -1,0 +1,78 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"procdecomp/internal/serve"
+)
+
+// A scaled-down load run must pass every gate: no hung operations, every
+// acknowledged job terminal, no byte-identity conflicts — with panics
+// injected and the queue small enough that shedding and degradation engage.
+func TestLoadRunGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run in -short mode")
+	}
+	cfg := Config{
+		Requests:      300,
+		Concurrency:   100,
+		Seed:          7,
+		ClientTimeout: 60 * time.Second,
+		Server: serve.Config{
+			QueueDepth: 16, Workers: 4,
+			PanicEvery: 5, DegradeAt: 0.5, AdmitSeed: 7,
+		},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Gate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Statuses["200"] == 0 {
+		t.Error("no successful operations at all")
+	}
+	if rep.Stats.Shed == 0 {
+		t.Error("100 clients against a 16-deep queue shed nothing; the overload path never ran")
+	}
+	if rep.Stats.Panics == 0 {
+		t.Error("chaos panics never fired")
+	}
+	if rep.JobsSubmitted == 0 {
+		t.Error("the mix produced no async jobs")
+	}
+
+	// Same seed, fresh server: every shared identity byte-identical.
+	rep2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.Gate(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareDigests(rep.Digests, rep2.Digests); len(bad) > 0 {
+		t.Errorf("repeated seeded run produced different bytes for %v", bad)
+	}
+}
+
+// The plan derivation is a pure function of (seed, index).
+func TestPlanDeterministic(t *testing.T) {
+	n := len(templates())
+	for i := 0; i < 500; i++ {
+		a, b := planFor(42, i, n), planFor(42, i, n)
+		if a != b {
+			t.Fatalf("planFor(42, %d) unstable: %+v vs %+v", i, a, b)
+		}
+	}
+	kinds := map[opKind]int{}
+	for i := 0; i < 1000; i++ {
+		kinds[planFor(1, i, n).kind]++
+	}
+	for _, k := range []opKind{opSync, opJob, opStream, opDisconnect, opDoomed} {
+		if kinds[k] == 0 {
+			t.Errorf("1000 plans never produced kind %d", k)
+		}
+	}
+}

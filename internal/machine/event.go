@@ -226,6 +226,11 @@ func (m *Machine) runEvent(body func(p *Proc)) error {
 		ev.push(int32(p.id))
 		go ev.main(p, body)
 	}
+	beatEvery := m.cfg.HeartbeatEvery
+	if beatEvery <= 0 {
+		beatEvery = 4096
+	}
+	dispatches := 0
 	for ev.live > 0 {
 		if len(ev.heap) == 0 {
 			// Quiescence: every live process is parked in m.waiting. Diagnose
@@ -238,6 +243,14 @@ func (m *Machine) runEvent(body func(p *Proc)) error {
 			continue
 		}
 		pid := ev.pop()
+		// The popped process's clock is the minimum over runnable work, so
+		// it is the loop's current virtual time; report it periodically.
+		if beat := m.cfg.Heartbeat; beat != nil {
+			if dispatches++; dispatches >= beatEvery {
+				dispatches = 0
+				beat(m.procs[pid].clock)
+			}
+		}
 		ev.state[pid] = evRunning
 		ev.resume[pid] <- true
 		<-ev.yield

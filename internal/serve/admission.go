@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the adaptive front door. The PR-6 server shed on one signal
+// only — a full fixed-depth queue. This controller keeps that hard bound
+// but sheds and degrades on observed conditions instead of failing rigidly:
+//
+//   - Deadline-doomed shed (CoDel-flavored): workers report each job's
+//     measured queue wait at dequeue and the controller keeps an EWMA of
+//     it alongside an EWMA of the drain rate. A request whose remaining
+//     deadline is already below the estimated queue wait is shed at
+//     admission — it would only have aged in the queue and timed out, so
+//     shedding it early costs the client nothing and saves a slot.
+//   - Per-tenant fair share: once the queue is contended (occupancy past
+//     FairShareAt), no tenant may hold more than its equal share of the
+//     depth, so one hot client saturating the service cannot starve the
+//     rest; its overflow is shed while other tenants still admit.
+//   - Graceful /search degradation: under sustained saturation (an EWMA of
+//     occupancy past DegradeAt) /search requests are admitted with a
+//     bounded candidate budget — reported in the reply — instead of being
+//     shed outright. Degraded replies are cached under a budget-qualified
+//     key, so they never masquerade as full-fidelity results.
+//   - Derived Retry-After: 429/503 replies quote the time to drain the
+//     current queue at the observed rate, plus a deterministic seeded
+//     jitter so synchronized clients do not re-arrive in lockstep.
+type admission struct {
+	depth       int
+	fairShareAt float64
+	degradeAt   float64
+	budget      int
+	seed        uint64
+
+	mu        sync.Mutex
+	queued    int            // jobs reserved or sitting in the queue channel
+	tenants   map[string]int // queued jobs per tenant
+	drainRate float64        // EWMA, jobs/sec, from inter-dequeue gaps
+	lastDeq   time.Time
+	qwait     time.Duration // EWMA of measured queue wait at dequeue
+	sat       float64       // EWMA of queue occupancy at admission attempts
+}
+
+func newAdmission(cfg Config) *admission {
+	return &admission{
+		depth:       cfg.QueueDepth,
+		fairShareAt: cfg.FairShareAt,
+		degradeAt:   cfg.DegradeAt,
+		budget:      cfg.DegradeKeep,
+		seed:        cfg.AdmitSeed,
+		tenants:     map[string]int{},
+	}
+}
+
+// decision is one admission verdict. Exactly one of shed/admitted: a nil
+// shed means a slot was reserved (the caller must enqueue, or call release
+// on any later failure).
+type decision struct {
+	shed   *JobError
+	reason string // shed cause for the counters: "full", "fair", "doomed"
+	budget int    // >0: admitted with a degraded /search candidate budget
+	pos    int    // queue position at admission (1-based), for the stream
+}
+
+// admit decides one request under the controller's lock. remaining is the
+// request's whole deadline budget (queue wait plus evaluation); seq feeds
+// the deterministic Retry-After jitter.
+func (a *admission) admit(endpoint, tenant string, remaining time.Duration, seq uint64, now time.Time) decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	occ := float64(a.queued) / float64(a.depth)
+	a.sat = 0.9*a.sat + 0.1*occ
+
+	if a.queued >= a.depth {
+		return decision{reason: "full", shed: &JobError{
+			Kind:       KindShed,
+			Message:    fmt.Sprintf("admission queue full (%d deep)", a.depth),
+			RetryAfter: retryAfterSeconds(a.queued, a.drainRate, a.seed, seq),
+		}}
+	}
+	if occ >= a.fairShareAt {
+		active := len(a.tenants)
+		if a.tenants[tenant] == 0 {
+			active++
+		}
+		if share := maxTenantShare(a.depth, active); a.tenants[tenant]+1 > share {
+			return decision{reason: "fair", shed: &JobError{
+				Kind:       KindShed,
+				Message:    fmt.Sprintf("tenant %q over fair share (%d of %d slots under contention)", tenant, share, a.depth),
+				RetryAfter: retryAfterSeconds(a.queued, a.drainRate, a.seed, seq),
+			}}
+		}
+	}
+	if a.queued > 0 && remaining > 0 {
+		if wait := a.estWaitLocked(); wait > remaining {
+			return decision{reason: "doomed", shed: &JobError{
+				Kind: KindDeadline,
+				Message: fmt.Sprintf("deadline-doomed at admission: estimated queue wait %v exceeds remaining deadline %v",
+					wait.Round(time.Millisecond), remaining.Round(time.Millisecond)),
+				RetryAfter: retryAfterSeconds(a.queued, a.drainRate, a.seed, seq),
+			}}
+		}
+	}
+	d := decision{}
+	if endpoint == "/search" && a.sat >= a.degradeAt {
+		d.budget = a.budget
+	}
+	a.queued++
+	a.tenants[tenant]++
+	d.pos = a.queued
+	return d
+}
+
+// release undoes a reservation whose job never reached the queue (a journal
+// write failed, or a degraded-key cache hit made the work unnecessary).
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queued--
+	if a.tenants[tenant] <= 1 {
+		delete(a.tenants, tenant)
+	} else {
+		a.tenants[tenant]--
+	}
+}
+
+// dequeued is the worker-side feedback: the job waited `waited` in the
+// queue and its slot is now free. It updates the drain-rate and queue-wait
+// estimates the shedding decisions run on.
+func (a *admission) dequeued(tenant string, waited time.Duration, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queued--
+	if a.tenants[tenant] <= 1 {
+		delete(a.tenants, tenant)
+	} else {
+		a.tenants[tenant]--
+	}
+	a.qwait = (3*a.qwait + waited) / 4
+	if !a.lastDeq.IsZero() {
+		if dt := now.Sub(a.lastDeq); dt > 0 {
+			a.drainRate = 0.8*a.drainRate + 0.2*(1.0/dt.Seconds())
+		}
+	}
+	a.lastDeq = now
+	a.sat = 0.9*a.sat + 0.1*float64(a.queued)/float64(a.depth)
+}
+
+// estWaitLocked estimates the queue wait a newly admitted job would see:
+// the larger of the measured-wait EWMA and the time to drain the current
+// queue at the observed rate. Before any drain has been observed it is
+// optimistic (zero), so a cold server never sheds on a guess.
+func (a *admission) estWaitLocked() time.Duration {
+	wait := a.qwait
+	if a.drainRate > 0 {
+		if byRate := time.Duration(float64(a.queued) / a.drainRate * float64(time.Second)); byRate > wait {
+			wait = byRate
+		}
+	}
+	return wait
+}
+
+// retryAfter derives the Retry-After for a drain-time reply (503) from the
+// live queue state.
+func (a *admission) retryAfter(seq uint64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return retryAfterSeconds(a.queued, a.drainRate, a.seed, seq)
+}
+
+// snapshot exposes the live estimates for /stats.
+func (a *admission) snapshot() (queued int, drainRate float64, estWaitMS int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.drainRate, a.estWaitLocked().Milliseconds()
+}
+
+// maxTenantShare is a tenant's queue-slot cap under contention: an equal
+// split of the depth over the active tenants, never below one slot.
+func maxTenantShare(depth, activeTenants int) int {
+	if activeTenants < 1 {
+		activeTenants = 1
+	}
+	share := depth / activeTenants
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// retryAfterSeconds derives a Retry-After from the observed queue drain
+// rate: the seconds needed to drain `queued` jobs at `drainRate` jobs/sec
+// (1 when no rate has been observed yet), plus a deterministic jitter in
+// [0, 3) seconds seeded by (seed, seq) — equal inputs produce equal
+// replies, but a herd of shed clients receives staggered values instead of
+// a constant. Clamped to [1, 60].
+func retryAfterSeconds(queued int, drainRate float64, seed, seq uint64) int {
+	sec := 1
+	if drainRate > 0 && queued > 0 {
+		sec = int(math.Ceil(float64(queued) / drainRate))
+	}
+	sec += int(admitJitter(seed, seq) % 3)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// admitJitter is a deterministic 64-bit mix of (seed, seq) — splitmix64's
+// finalizer over their combination.
+func admitJitter(seed, seq uint64) uint64 {
+	x := seed ^ (seq+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// The Retry-After computation is part of the service's client contract, so
+// its exact values are pinned: drain time at the observed rate, plus the
+// deterministic seeded jitter, clamped to [1, 60].
+func TestRetryAfterSecondsPinned(t *testing.T) {
+	cases := []struct {
+		name      string
+		queued    int
+		drainRate float64
+		seed, seq uint64
+		want      int
+	}{
+		// No rate observed yet: base 1 second plus jitter.
+		// admitJitter(1, 0) % 3 == 2, so 1 + 2.
+		{"cold-start", 10, 0, 1, 0, 3},
+		// 10 queued at 5/sec drains in 2s; jitter(1, 1) % 3 == 0.
+		{"drain-2s-no-jitter", 10, 5, 1, 1, 2},
+		// Same queue, jitter(1, 2) % 3 == 1.
+		{"drain-2s-jitter-1", 10, 5, 1, 2, 3},
+		// 7/2 rounds up: ceil(7/2) = 4; jitter(1, 3) % 3 == 2.
+		{"ceil-rounding", 7, 2, 1, 3, 6},
+		// 600 queued at 1/sec would be 600s: clamped to 60.
+		{"clamped-high", 600, 1, 1, 7, 60},
+		// Empty queue: base 1 plus jitter(1, 42) % 3 == 1.
+		{"empty-queue", 0, 5, 1, 42, 2},
+		// A different seed lands different jitter: jitter(9, 5) % 3 == 1.
+		{"other-seed", 10, 5, 9, 5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterSeconds(tc.queued, tc.drainRate, tc.seed, tc.seq); got != tc.want {
+				t.Errorf("retryAfterSeconds(%d, %v, %d, %d) = %d, want %d",
+					tc.queued, tc.drainRate, tc.seed, tc.seq, got, tc.want)
+			}
+		})
+	}
+	// Determinism: equal inputs, equal replies — always.
+	for i := 0; i < 100; i++ {
+		if retryAfterSeconds(10, 5, 1, 7) != retryAfterSeconds(10, 5, 1, 7) {
+			t.Fatal("retryAfterSeconds is not deterministic")
+		}
+	}
+}
+
+func TestAdmissionFairShare(t *testing.T) {
+	cfg := Config{QueueDepth: 8, FairShareAt: 0.5, DegradeAt: 2, DegradeKeep: 4, AdmitSeed: 1}.withDefaults()
+	a := newAdmission(cfg)
+	now := time.Now()
+
+	// Below the contention threshold one tenant may fill freely.
+	for i := 0; i < 4; i++ {
+		if d := a.admit("/run", "hog", time.Minute, uint64(i), now); d.shed != nil {
+			t.Fatalf("admit %d below contention: %v", i, d.shed)
+		}
+	}
+	// At occupancy 4/8 = 0.5 the cap engages — but a lone tenant is still
+	// entitled to the whole depth, so the hog only loses slots once a
+	// second tenant shows up.
+	if d := a.admit("/run", "hog", time.Minute, 10, now); d.shed != nil {
+		t.Fatalf("lone hog shed with no contention: %v", d.shed)
+	}
+	if d := a.admit("/run", "newcomer", time.Minute, 11, now); d.shed != nil {
+		t.Fatalf("newcomer shed while the hog holds the queue: %v", d.shed)
+	}
+	// Two active tenants split depth 8 into 4 each: the hog already holds
+	// 5, so its next request sheds while the newcomer keeps admitting.
+	d := a.admit("/run", "hog", time.Minute, 12, now)
+	if d.shed == nil || d.shed.Kind != KindShed {
+		t.Fatalf("hog over share admit = %+v, want fair-share shed", d)
+	}
+	if d.reason != "fair" {
+		t.Errorf("shed reason = %q, want fair", d.reason)
+	}
+	if d := a.admit("/run", "newcomer", time.Minute, 13, now); d.shed != nil {
+		t.Fatalf("newcomer within share shed: %v", d.shed)
+	}
+}
+
+func TestAdmissionDoomedShed(t *testing.T) {
+	cfg := Config{QueueDepth: 64}.withDefaults()
+	a := newAdmission(cfg)
+	now := time.Now()
+
+	// Cold start: nothing measured, so even a 1ms deadline admits — the
+	// controller never sheds on a guess.
+	if d := a.admit("/run", "", time.Millisecond, 1, now); d.shed != nil {
+		t.Fatalf("cold-start admit with tiny deadline shed: %v", d.shed)
+	}
+	a.release("")
+
+	// Teach the controller a 2s measured queue wait.
+	for i := 0; i < 8; i++ {
+		a.admit("/run", "", time.Minute, uint64(i), now)
+	}
+	for i := 0; i < 4; i++ {
+		a.dequeued("", 2*time.Second, now.Add(time.Duration(i)*50*time.Millisecond))
+	}
+	// 4 still queued, measured wait 2s: a 10ms deadline is doomed — shed at
+	// admission as a deadline failure (504), not a 429.
+	d := a.admit("/run", "", 10*time.Millisecond, 20, now)
+	if d.shed == nil || d.shed.Kind != KindDeadline {
+		t.Fatalf("doomed admit = %+v, want KindDeadline shed", d)
+	}
+	// A patient request still admits.
+	if d := a.admit("/run", "", time.Minute, 21, now); d.shed != nil {
+		t.Fatalf("patient admit shed: %v", d.shed)
+	}
+}
+
+func TestAdmissionDegradesSearchUnderSaturation(t *testing.T) {
+	cfg := Config{QueueDepth: 4, FairShareAt: 2, DegradeAt: -1, DegradeKeep: 3}.withDefaults()
+	a := newAdmission(cfg)
+	now := time.Now()
+	// DegradeAt < 0 forces saturation: /search degrades immediately,
+	// other endpoints never do.
+	if d := a.admit("/search", "", time.Minute, 1, now); d.shed != nil || d.budget != 3 {
+		t.Fatalf("/search under saturation = %+v, want budget 3", d)
+	}
+	if d := a.admit("/run", "", time.Minute, 2, now); d.shed != nil || d.budget != 0 {
+		t.Fatalf("/run under saturation = %+v, want full fidelity", d)
+	}
+}

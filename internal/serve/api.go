@@ -123,21 +123,42 @@ func normalize(endpoint string, req Request) (Request, error) {
 // contentKey is the cache key of one request: the endpoint plus the
 // canonical JSON of the normalized request with its deadline zeroed.
 // encoding/json emits struct fields in declaration order and map keys
-// sorted, so equal requests hash equal.
-func contentKey(endpoint string, req Request) string {
+// sorted, so equal requests hash equal. A degraded /search result (budget
+// > 0) hashes under a budget-qualified prefix: a reduced-fidelity answer
+// must never be served later as the full one, or vice versa.
+func contentKey(endpoint string, req Request, budget int) string {
 	req.TimeoutMS = 0
 	b, err := json.Marshal(req)
 	if err != nil {
 		// A Request is plain data; its marshal cannot fail.
 		panic(fmt.Sprintf("serve: marshal request: %v", err))
 	}
-	sum := sha256.Sum256(append([]byte(endpoint+"\n"), b...))
+	prefix := endpoint
+	if budget > 0 {
+		prefix = fmt.Sprintf("%s@budget%d", endpoint, budget)
+	}
+	sum := sha256.Sum256(append([]byte(prefix+"\n"), b...))
 	return hex.EncodeToString(sum[:])
+}
+
+// evalHooks carries the per-job observation channels into an evaluation:
+// emit streams progress events (heartbeats, search tiers) to the job's
+// event log, and budget, when positive, caps the /search candidate set —
+// the degraded admission mode. A nil hooks runs full fidelity, silently.
+type evalHooks struct {
+	budget int
+	emit   func(Event)
+}
+
+func (h *evalHooks) publish(ev Event) {
+	if h != nil && h.emit != nil {
+		h.emit(ev)
+	}
 }
 
 // evaluate dispatches one admitted job to its endpoint's evaluator and
 // marshals the response deterministically.
-func evaluate(ctx context.Context, endpoint string, req Request) ([]byte, error) {
+func evaluate(ctx context.Context, endpoint string, req Request, hooks *evalHooks) ([]byte, error) {
 	var (
 		out any
 		err error
@@ -146,11 +167,11 @@ func evaluate(ctx context.Context, endpoint string, req Request) ([]byte, error)
 	case "/compile":
 		out, err = doCompile(req)
 	case "/run":
-		out, err = doRun(ctx, req)
+		out, err = doRun(ctx, req, hooks)
 	case "/search":
-		out, err = doSearch(ctx, req)
+		out, err = doSearch(ctx, req, hooks)
 	case "/trace":
-		out, err = doTrace(ctx, req)
+		out, err = doTrace(ctx, req, hooks)
 	default:
 		return nil, invalidf("no endpoint %s", endpoint)
 	}
@@ -281,8 +302,8 @@ type RunResponse struct {
 	Scalars  []ScalarResult `json:",omitempty"`
 }
 
-func doRun(ctx context.Context, req Request) (*RunResponse, error) {
-	out, _, err := runOnce(ctx, req, nil)
+func doRun(ctx context.Context, req Request, hooks *evalHooks) (*RunResponse, error) {
+	out, _, err := runOnce(ctx, req, nil, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -322,8 +343,15 @@ func doRun(ctx context.Context, req Request) (*RunResponse, error) {
 	return resp, nil
 }
 
+// heartbeatEvery is the event-dispatch stride between streamed virtual-time
+// heartbeats. Observation only: the machine's schedule is identical with
+// the hook on or off.
+const heartbeatEvery = 256
+
 // runOnce compiles and executes the request's program, optionally traced.
-func runOnce(ctx context.Context, req Request, tr *trace.Log) (*exec.SPMDOutcome, machine.Config, error) {
+// With hooks, the simulated machine streams virtual-time heartbeats to the
+// job's event log as it runs.
+func runOnce(ctx context.Context, req Request, tr *trace.Log, hooks *evalHooks) (*exec.SPMDOutcome, machine.Config, error) {
 	progs, info, err := compile(req)
 	if err != nil {
 		return nil, machine.Config{}, err
@@ -334,20 +362,35 @@ func runOnce(ctx context.Context, req Request, tr *trace.Log) (*exec.SPMDOutcome
 	}
 	cfg := machine.DefaultConfig(req.Procs)
 	cfg.Tracer = tr
+	if hooks != nil && hooks.emit != nil {
+		cfg.HeartbeatEvery = heartbeatEvery
+		cfg.Heartbeat = func(clock machine.Cost) {
+			hooks.publish(Event{Type: "heartbeat", Clock: uint64(clock)})
+		}
+	}
 	out, err := exec.RunSPMDCtx(ctx, progs, cfg, ins)
 	return out, cfg, err
 }
 
-func doTrace(ctx context.Context, req Request) (*analysis.Report, error) {
+func doTrace(ctx context.Context, req Request, hooks *evalHooks) (*analysis.Report, error) {
 	tr := trace.New()
-	_, cfg, err := runOnce(ctx, req, tr)
+	_, cfg, err := runOnce(ctx, req, tr, hooks)
 	if err != nil {
 		return nil, err
 	}
 	return analysis.Analyze(analysis.NewDump(cfg, tr), analysis.Options{TopLinks: 8, TopTags: 8})
 }
 
-func doSearch(ctx context.Context, req Request) (*autotune.Report, error) {
+// SearchResponse is /search's body: the autotune report, plus the candidate
+// budget when admission degraded the search under saturation. A full-
+// fidelity response (budget 0) marshals byte-identically to the bare
+// report, so existing clients and cache entries see no difference.
+type SearchResponse struct {
+	*autotune.Report
+	DegradedBudget int `json:",omitempty"`
+}
+
+func doSearch(ctx context.Context, req Request, hooks *evalHooks) (*SearchResponse, error) {
 	dn, err := pickDist(source(req), req.Dist)
 	if err != nil {
 		return nil, invalidf("%v", err)
@@ -357,11 +400,27 @@ func doSearch(ctx context.Context, req Request) (*autotune.Report, error) {
 		name = "gauss-seidel"
 	}
 	w := &autotune.Workload{Name: name, Source: source(req), Entry: req.Entry, Dist: dn, Defines: req.Defines}
-	rep, err := autotune.SearchCtx(ctx, w, machine.DefaultConfig(req.Procs), autotune.Options{Keep: req.Keep, TopK: req.TopK})
+	opts := autotune.Options{Keep: req.Keep, TopK: req.TopK}
+	budget := 0
+	if hooks != nil && hooks.budget > 0 {
+		// Degraded admission: replay only `budget` statically ranked
+		// candidates and confirm a single winner on the machine. Same
+		// tiers, bounded work.
+		budget = hooks.budget
+		opts.Keep = budget
+		opts.TopK = 1
+	}
+	if hooks != nil && hooks.emit != nil {
+		opts.Progress = func(p autotune.Progress) {
+			hooks.publish(Event{Type: "search", Stage: p.Stage, Candidate: p.Candidate,
+				Done: p.Done, Total: p.Total, Makespan: p.Makespan, Top: p.Top})
+		}
+	}
+	rep, err := autotune.SearchCtx(ctx, w, machine.DefaultConfig(req.Procs), opts)
 	if err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return &SearchResponse{Report: rep, DegradedBudget: budget}, nil
 }
 
 // pickDist resolves the declaration /search varies: the named one, or the

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -163,6 +165,112 @@ func TestDiskCacheEntriesSelfDescribe(t *testing.T) {
 	}
 	if entries != len(keys) {
 		t.Errorf("%d entries on disk, want %d", entries, len(keys))
+	}
+}
+
+// Concurrent writers to the same key must never corrupt the entry: the
+// temp-file+rename discipline means readers racing the writers see either a
+// miss, the old payload, or the new payload — always intact, never torn.
+func TestDiskCacheConcurrentSameKeyWriters(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Responses are deterministic in the key, so real writers always carry
+	// the same payload; the cache's contract is last-rename-wins with no
+	// torn state either way.
+	payload := bytes.Repeat([]byte("deterministic-bytes."), 512)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Put("shared-key", payload); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Readers race the writers the whole time.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got, ok := c.Get("shared-key"); ok && !bytes.Equal(got, payload) {
+					t.Errorf("racing Get returned torn bytes (%d of %d)", len(got), len(payload))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, ok := c.Get("shared-key"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("final Get = %v, intact %v", ok, bytes.Equal(got, payload))
+	}
+	if c.Stats().Quarantined != 0 {
+		t.Errorf("concurrent same-key writes quarantined %d entries", c.Stats().Quarantined)
+	}
+}
+
+// The tmp-sweep vs in-flight-write race: a second process opening the cache
+// sweeps *.tmp files while the first is mid-Put. The sweep may steal the
+// temp file out from under an in-flight write (a visible Put error), but it
+// must never corrupt an installed entry or make a reader see torn bytes.
+func TestDiskCacheSweepRaceWithInflightWrites(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("sweep-race-payload."), 256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// A concurrent open: sweeps every .tmp it can see.
+			if _, err := OpenDiskCache(dir); err != nil {
+				t.Errorf("concurrent open: %v", err)
+				return
+			}
+		}
+	}()
+	var failed, installed int
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i%7)
+		if err := c.Put(key, payload); err != nil {
+			failed++ // the sweeper stole the tmp mid-write: reported, not silent
+			continue
+		}
+		installed++
+		if got, ok := c.Get(key); ok && !bytes.Equal(got, payload) {
+			t.Fatalf("iteration %d: Get returned torn bytes after racing sweep", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if installed == 0 {
+		t.Fatal("no Put survived the sweep race; the cache made no progress")
+	}
+	t.Logf("sweep race: %d installed, %d stolen mid-write", installed, failed)
+	// Every surviving entry still verifies.
+	for i := 0; i < 7; i++ {
+		if got, ok := c.Get(fmt.Sprintf("key-%d", i)); ok && !bytes.Equal(got, payload) {
+			t.Errorf("entry key-%d corrupt after the race", i)
+		}
+	}
+	if c.Stats().Quarantined != 0 {
+		t.Errorf("sweep race quarantined %d entries — something served torn bytes", c.Stats().Quarantined)
 	}
 }
 

@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// Event is one NDJSON record on a job's progress stream (GET
+// /jobs/<id>/events). Every stream carries, in order: the admission events
+// ("accepted", then "queued" with the queue position), "running" when a
+// worker picks the job up (repeated with a higher Attempt after a panic
+// retry), zero or more progress events while it evaluates — "heartbeat"
+// with the simulated machine's virtual clock, "search" with the autotune
+// tier transitions and partial rankings, "degraded" when admission reduced
+// the candidate budget — and exactly one terminal event ("done",
+// "failed", or "canceled") on every path: completion, request deadline,
+// panic-retry exhaustion, client-visible error, and server drain alike.
+type Event struct {
+	Job  string // job ID
+	Seq  int    // position in the job's stream, dense from 0
+	Type string
+	// Terminal marks the stream's final event; nothing follows it.
+	Terminal bool `json:",omitempty"`
+
+	QueuePos  int      `json:",omitempty"` // "queued": position at admission
+	Attempt   int      `json:",omitempty"` // "running": 1-based attempt number
+	Stage     string   `json:",omitempty"` // "search": autotune tier
+	Candidate string   `json:",omitempty"` // "search": measured candidate key
+	Done      int      `json:",omitempty"` // "search": tier progress
+	Total     int      `json:",omitempty"`
+	Clock     uint64   `json:",omitempty"` // "heartbeat": virtual time
+	Makespan  uint64   `json:",omitempty"` // "search": measured makespan
+	Top       []string `json:",omitempty"` // "search": partial ranking
+	Budget    int      `json:",omitempty"` // "degraded": candidate budget
+	Kind      ErrKind  `json:",omitempty"` // "failed"/"canceled": error kind
+	Message   string   `json:",omitempty"`
+	Attempts  int      `json:",omitempty"` // terminal: evaluation attempts
+}
+
+// maxJobEvents bounds one job's event history. A run long enough to emit
+// more heartbeats than this has its non-terminal events dropped past the
+// cap; the terminal event is always recorded, so no stream can fail to
+// terminate because its job was chatty.
+const maxJobEvents = 10000
+
+// eventLog is one job's append-only event history plus a broadcast edge for
+// streamers: publish appends under the lock and wakes every waiter; since
+// hands a subscriber the events it has not yet seen and a channel that
+// closes on the next publish. Subscribers replay from the start, so a
+// client that connects after the job finished still sees the whole stream.
+type eventLog struct {
+	mu       sync.Mutex
+	events   []Event
+	terminal bool
+	notify   chan struct{}
+}
+
+func newEventLog() *eventLog { return &eventLog{notify: make(chan struct{})} }
+
+// publish appends the event (stamping its Seq) and wakes subscribers. After
+// a terminal event the log is sealed: later publishes are dropped, so
+// "exactly one terminal event" holds by construction.
+func (l *eventLog) publish(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.terminal {
+		return
+	}
+	if len(l.events) >= maxJobEvents && !ev.Terminal {
+		return
+	}
+	ev.Seq = len(l.events)
+	l.events = append(l.events, ev)
+	if ev.Terminal {
+		l.terminal = true
+	}
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// since returns a copy of the events from index i on, whether the log is
+// sealed, and a channel that closes on the next publish. A subscriber loops:
+// write what since returned, advance i, and if not yet terminal wait on the
+// channel (or its client's context).
+func (l *eventLog) since(i int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i > len(l.events) {
+		i = len(l.events)
+	}
+	evs := append([]Event(nil), l.events[i:]...)
+	return evs, l.terminal, l.notify
+}
+
+// snapshot returns the number of events and whether the log is sealed.
+func (l *eventLog) snapshot() (n int, terminal bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events), l.terminal
+}

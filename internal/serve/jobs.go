@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// asyncJob is the durable record behind one POST /jobs acceptance: identity,
+// the normalized request (so a restarted server can re-run it), the event
+// log its streamers follow, and — once terminal — the outcome. The record
+// lives in Server.jobs for the life of the process and in the journal across
+// processes.
+type asyncJob struct {
+	id       string
+	endpoint string
+	tenant   string
+	key      string
+	budget   int
+	req      Request
+	log      *eventLog
+
+	mu       sync.Mutex
+	terminal bool
+	result   []byte // nil for a recovered done job: the cache holds the bytes
+	jerr     *JobError
+}
+
+// complete/fail settle the job exactly once; later calls are ignored (a
+// drain and a deadline can race to settle the same job).
+func (a *asyncJob) complete(result []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.terminal {
+		return
+	}
+	a.terminal = true
+	a.result = result
+}
+
+func (a *asyncJob) fail(jerr *JobError) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.terminal {
+		return
+	}
+	a.terminal = true
+	a.jerr = jerr
+}
+
+func (a *asyncJob) state() (terminal bool, result []byte, jerr *JobError) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.terminal, a.result, a.jerr
+}
+
+// JobSubmit is POST /jobs' body: which pipeline to run, and its request.
+type JobSubmit struct {
+	Endpoint string
+	Request  Request
+}
+
+// JobAccepted is the 202 acknowledgment. By the time a client reads it, the
+// job's accepted record is durable: a crash after the 202 cannot lose it.
+type JobAccepted struct {
+	ID     string
+	Status string
+	// Degraded reports the reduced /search candidate budget admission
+	// assigned under saturation (0 = full fidelity).
+	Degraded int `json:",omitempty"`
+}
+
+// JobPending is GET /jobs/<id>'s 202 body while the job is still moving.
+type JobPending struct {
+	ID     string
+	Status string
+	Events int
+}
+
+func (s *Server) lookupJob(id string) *asyncJob {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+// handleJobSubmit admits one durable async job: same admission control as
+// the synchronous endpoints, but the reply is an immediate 202 with the job
+// ID and the work proceeds in the background, journaled at every state
+// change. If the full-fidelity result is already cached the job is born
+// terminal — still journaled, still replayable, no pool time.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub JobSubmit
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sub); err != nil {
+		s.writeError(w, &JobError{Kind: KindInvalid, Message: "bad request body: " + err.Error()})
+		return
+	}
+	valid := false
+	for _, ep := range endpoints {
+		if sub.Endpoint == ep {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		s.writeError(w, &JobError{Kind: KindInvalid, Message: fmt.Sprintf("no endpoint %q", sub.Endpoint)})
+		return
+	}
+	req, err := normalize(sub.Endpoint, sub.Request)
+	if err != nil {
+		s.writeError(w, &JobError{Kind: KindInvalid, Message: err.Error()})
+		return
+	}
+
+	if body, ok := s.cache.Get(contentKey(sub.Endpoint, req, 0)); ok {
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), body); jerr != nil {
+			s.writeError(w, jerr)
+		} else {
+			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done"})
+		}
+		return
+	}
+
+	j, cached, jerr := s.submit(sub.Endpoint, req, tenantOf(r), true)
+	if jerr != nil {
+		s.writeError(w, jerr)
+		return
+	}
+	if cached != nil {
+		// Degraded-key hit: the saturated answer is already on disk.
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), cached); jerr != nil {
+			s.writeError(w, jerr)
+		} else {
+			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done", Degraded: s.cfg.DegradeKeep})
+		}
+		return
+	}
+	s.writeAccepted(w, JobAccepted{ID: j.async.id, Status: "accepted", Degraded: j.budget})
+}
+
+// bornDone registers a job that is terminal on arrival (its result was
+// cached): journaled accepted+done so a restart re-serves it identically.
+func (s *Server) bornDone(endpoint string, req Request, tenant string, body []byte) (*asyncJob, *JobError) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, &JobError{Kind: KindDraining, Message: "server is draining",
+			RetryAfter: s.adm.retryAfter(s.seq.Add(1))}
+	}
+	s.mu.Unlock()
+	key := contentKey(endpoint, req, 0)
+	aj := &asyncJob{id: jobID(s.seq.Add(1)), endpoint: endpoint, tenant: tenant,
+		key: key, req: req, log: newEventLog()}
+	if err := s.journal.Append(journalRec{Op: "accepted", ID: aj.id,
+		Endpoint: endpoint, Tenant: tenant, Key: key, Req: &req}); err != nil {
+		return nil, &JobError{Kind: KindInternal, Message: "job journal write failed: " + err.Error()}
+	}
+	s.journal.Append(journalRec{Op: "done", ID: aj.id, Key: key})
+	aj.complete(body)
+	s.jobsMu.Lock()
+	s.jobs[aj.id] = aj
+	s.jobsMu.Unlock()
+	s.jobsAccepted.Add(1)
+	s.jobsDone.Add(1)
+	aj.log.publish(Event{Job: aj.id, Type: "accepted"})
+	aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+	return aj, nil
+}
+
+func (s *Server) writeAccepted(w http.ResponseWriter, acc JobAccepted) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/jobs/"+acc.ID)
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(acc)
+}
+
+// handleJobGet serves a job's terminal result — the same bytes the
+// synchronous endpoint would have returned, re-readable any number of times
+// and across restarts — or a 202 progress envelope while it runs.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	aj := s.lookupJob(r.PathValue("id"))
+	if aj == nil {
+		s.writeError(w, &JobError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	terminal, result, jerr := aj.state()
+	if !terminal {
+		n, _ := aj.log.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(JobPending{ID: aj.id, Status: "pending", Events: n})
+		return
+	}
+	if jerr != nil {
+		s.writeError(w, jerr)
+		return
+	}
+	if result == nil {
+		// Recovered done job: the journal has the key, the cache the bytes.
+		body, ok := s.cache.Get(aj.key)
+		if !ok {
+			s.writeError(w, &JobError{Kind: KindInternal,
+				Message: "job result missing from cache"})
+			return
+		}
+		result = body
+	}
+	s.writeResult(w, result, "job", aj.budget)
+}
+
+// handleJobEvents streams the job's event log as NDJSON: full replay from
+// event 0, then live tail. The stream always ends with the job's terminal
+// event — on completion, failure, cancellation, and server drain alike —
+// or with the client's own disconnect.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	aj := s.lookupJob(r.PathValue("id"))
+	if aj == nil {
+		s.writeError(w, &JobError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	i := 0
+	for {
+		evs, terminal, next := aj.log.since(i)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		i += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJournal lays down a journal file from raw lines.
+func writeJournal(t *testing.T, dir string, lines ...string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw := strings.Join(lines, "")
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rec(t *testing.T, r journalRec) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+// A kill mid-append leaves a partial last line. Opening the journal must
+// quarantine the torn tail, keep every intact record, and re-run the jobs
+// with no terminal record.
+func TestJournalQuarantinesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{GS: true, Procs: 2, Mode: "ctr", Entry: "gs_iteration"}
+	finished := rec(t, journalRec{Op: "accepted", ID: jobID(1), Endpoint: "/run", Key: "k1", Req: &req})
+	finishedDone := rec(t, journalRec{Op: "done", ID: jobID(1), Key: "k1"})
+	unfinished := rec(t, journalRec{Op: "accepted", ID: jobID(2), Endpoint: "/run", Key: "k2", Req: &req})
+	running := rec(t, journalRec{Op: "running", ID: jobID(2)})
+	torn := `{"Op":"accepted","ID":"j000000000000dead","Endpoint":"/run","Req":{"GS":tr` // cut mid-token
+	writeJournal(t, dir, finished, finishedDone, unfinished, running, torn)
+
+	j, jobs, maxSeq, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	if !jobs[0].done || jobs[0].id != jobID(1) {
+		t.Errorf("job 1 = %+v, want done", jobs[0])
+	}
+	if !jobs[1].unfinished() || jobs[1].id != jobID(2) {
+		t.Errorf("job 2 = %+v, want unfinished (re-run)", jobs[1])
+	}
+	if maxSeq != 2 {
+		t.Errorf("maxSeq = %d, want 2", maxSeq)
+	}
+	// The torn bytes are preserved for inspection, not re-parsed.
+	got, err := os.ReadFile(filepath.Join(dir, quarantineDir, journalTornName))
+	if err != nil || string(got) != torn {
+		t.Errorf("quarantined tail = %q (err %v), want the torn bytes", got, err)
+	}
+	// The compacted journal holds only intact records; reopening parses the
+	// same state with nothing left to quarantine.
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("dead")) {
+		t.Error("compacted journal still contains torn bytes")
+	}
+	if !bytes.HasSuffix(raw, []byte("\n")) {
+		t.Error("compacted journal does not end on a record boundary")
+	}
+	j.Close()
+	j2, jobs2, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs2) != 2 || !jobs2[0].done || !jobs2[1].unfinished() {
+		t.Errorf("reopen recovered %d jobs (%+v), want the same 2", len(jobs2), jobs2)
+	}
+}
+
+// A torn tail can also be a syntactically valid accept record whose Req was
+// never written — corrupt by schema, quarantined the same way.
+func TestJournalTreatsRequestlessAcceptAsTorn(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{GS: true, Procs: 2, Mode: "ctr", Entry: "gs_iteration"}
+	good := rec(t, journalRec{Op: "accepted", ID: jobID(1), Endpoint: "/run", Key: "k1", Req: &req})
+	bad := rec(t, journalRec{Op: "accepted", ID: jobID(9), Endpoint: "/run", Key: "k9"})
+	writeJournal(t, dir, good, bad)
+
+	j, jobs, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(jobs) != 1 || jobs[0].id != jobID(1) {
+		t.Fatalf("recovered %+v, want only the intact job", jobs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, journalTornName)); err != nil {
+		t.Errorf("request-less accept not quarantined: %v", err)
+	}
+}
+
+// Appends made through the journal survive a close/reopen cycle verbatim.
+func TestJournalAppendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, jobs, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", len(jobs))
+	}
+	req := Request{GS: true, Procs: 4, Mode: "opt3", Blk: 8, Entry: "gs_iteration"}
+	if err := j.Append(journalRec{Op: "accepted", ID: jobID(3), Endpoint: "/search", Tenant: "t1", Key: "kk", Budget: 4, Req: &req}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRec{Op: "failed", ID: jobID(3), Kind: KindPanic, Message: "boom", Attempts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(journalRec{Op: "done", ID: jobID(3)}); err == nil {
+		t.Error("append after Close succeeded")
+	}
+
+	j2, jobs2, maxSeq, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs2) != 1 || maxSeq != 3 {
+		t.Fatalf("recovered %d jobs, maxSeq %d; want 1 and 3", len(jobs2), maxSeq)
+	}
+	rj := jobs2[0]
+	if rj.endpoint != "/search" || rj.tenant != "t1" || rj.budget != 4 || rj.req.Blk != 8 {
+		t.Errorf("recovered job = %+v, want the appended fields", rj)
+	}
+	if rj.jerr == nil || rj.jerr.Kind != KindPanic || rj.jerr.Attempts != 3 {
+		t.Errorf("recovered error = %+v, want the panic failure", rj.jerr)
+	}
+}

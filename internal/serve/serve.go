@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,8 +40,26 @@ type Config struct {
 	// retries (defaults 10ms, 250ms).
 	RetryBase time.Duration
 	RetryMax  time.Duration
-	// CacheDir, when set, enables the persistent result cache.
+	// CacheDir, when set, enables the persistent result cache and the
+	// durable async-job journal (jobs.journal in the same directory). With
+	// no CacheDir, /jobs still works but jobs do not survive a restart.
 	CacheDir string
+	// FairShareAt is the queue occupancy fraction at which per-tenant
+	// fair-share caps engage (default 0.5): past it, no tenant (X-Tenant
+	// header; empty means the anonymous tenant) may hold more than an equal
+	// split of the queue. Set >= 1 to disable.
+	FairShareAt float64
+	// DegradeAt is the smoothed queue occupancy past which /search requests
+	// are admitted with a reduced candidate budget instead of full fidelity
+	// (default 0.75). Set >= 1 to disable; a negative value forces
+	// degradation always (a test knob).
+	DegradeAt float64
+	// DegradeKeep is the degraded /search candidate budget (default 4): the
+	// number of statically ranked candidates replayed, with a single
+	// machine confirmation.
+	DegradeKeep int
+	// AdmitSeed seeds the deterministic Retry-After jitter (default 1).
+	AdmitSeed uint64
 	// PanicEvery is a chaos knob: every Nth evaluation panics on its first
 	// attempt (0 = off). It exists so the smoke test and the soak can drive
 	// the panic-isolation path deterministically.
@@ -78,6 +97,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = 250 * time.Millisecond
 	}
+	if c.FairShareAt == 0 {
+		c.FairShareAt = 0.5
+	}
+	if c.DegradeAt == 0 {
+		c.DegradeAt = 0.75
+	}
+	if c.DegradeKeep <= 0 {
+		c.DegradeKeep = 4
+	}
+	if c.AdmitSeed == 0 {
+		c.AdmitSeed = 1
+	}
 	return c
 }
 
@@ -86,12 +117,14 @@ type ErrKind string
 
 const (
 	KindInvalid  ErrKind = "invalid"  // 400: rejected before any work
-	KindShed     ErrKind = "shed"     // 429: admission queue full
+	KindShed     ErrKind = "shed"     // 429: queue full or tenant over fair share
 	KindDraining ErrKind = "draining" // 503: server is shutting down
-	KindDeadline ErrKind = "deadline" // 504: request deadline exceeded
+	KindDeadline ErrKind = "deadline" // 504: deadline exceeded (or doomed at admission)
 	KindCanceled ErrKind = "canceled" // 503: aborted by server shutdown
 	KindFailed   ErrKind = "failed"   // 422: the program itself failed
 	KindPanic    ErrKind = "panic"    // 500: evaluation panicked, retries exhausted
+	KindInternal ErrKind = "internal" // 500: the server could not honor its own contract
+	KindNotFound ErrKind = "notfound" // 404: no such job
 )
 
 // JobError is the typed failure of one request.
@@ -100,6 +133,9 @@ type JobError struct {
 	Message string
 	// Attempts counts evaluation attempts, >1 only after panic retries.
 	Attempts int `json:",omitempty"`
+	// RetryAfter, when positive, is the derived Retry-After in seconds
+	// (shed and draining replies).
+	RetryAfter int `json:",omitempty"`
 }
 
 func (e *JobError) Error() string {
@@ -119,6 +155,8 @@ func (e *JobError) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case KindFailed:
 		return http.StatusUnprocessableEntity
+	case KindNotFound:
+		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
@@ -130,33 +168,76 @@ type job struct {
 	endpoint string
 	req      Request
 	key      string
-	ctx      context.Context
-	cancel   context.CancelFunc
-	done     chan struct{} // closed exactly once, when result/jerr are set
-	result   []byte
-	jerr     *JobError
+	tenant   string
+	// budget, when positive, is the degraded /search candidate budget
+	// admission assigned under saturation.
+	budget int
+	// async links the queue job to its durable /jobs record (nil for the
+	// synchronous endpoints).
+	async *asyncJob
+	// recovered marks a job re-enqueued from the journal on restart; it
+	// bypasses admission accounting (it was admitted in a previous life).
+	recovered  bool
+	enqueuedAt time.Time
+	ctx        context.Context
+	cancel     context.CancelFunc
+	done       chan struct{} // closed exactly once, when result/jerr are set
+	result     []byte
+	jerr       *JobError
 	// panicked marks that the chaos knob already fired for this job, so a
 	// retried attempt succeeds instead of panicking forever.
 	panicked bool
 }
 
+// emit publishes a progress event on the job's stream, if it has one.
+func (j *job) emit(ev Event) {
+	if j.async != nil {
+		ev.Job = j.async.id
+		j.async.log.publish(ev)
+	}
+}
+
+// JobStats counts the async-job lifecycle.
+type JobStats struct {
+	Accepted  int64 // jobs acknowledged via POST /jobs
+	Recovered int64 // journal jobs found on restart (any state)
+	Requeued  int64 // recovered jobs re-enqueued to run again
+	Done      int64
+	Failed    int64
+}
+
+// QueueStats snapshots the adaptive admission controller.
+type QueueStats struct {
+	Depth           int
+	Queued          int
+	DrainRatePerSec float64
+	EstWaitMS       int64
+}
+
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
 	Accepted  int64
-	Shed      int64
+	Shed      int64 // queue-full and fair-share sheds (429)
+	FairShed  int64 // the fair-share subset of Shed
+	Doomed    int64 // deadline-doomed requests shed at admission (504)
+	Degraded  int64 // /search evaluations run with a reduced candidate budget
 	Rejected  int64 // refused while draining
 	Completed int64
 	Failed    int64
 	Panics    int64
 	Retries   int64
+	Jobs      JobStats
+	Queue     QueueStats
 	Cache     CacheStats
 }
 
 // Server is the fault-tolerant front of the toolchain. Create with New,
 // expose Handler on an http.Server, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *DiskCache
+	cfg     Config
+	cache   *DiskCache
+	adm     *admission
+	journal *journal
 
 	baseCtx context.Context
 	abort   context.CancelFunc
@@ -169,51 +250,126 @@ type Server struct {
 	draining bool
 	shutdown sync.Once
 
+	jobsMu sync.Mutex
+	jobs   map[string]*asyncJob
+
+	ready atomic.Bool // journal recovery complete; flips off while draining
+
 	seq       atomic.Uint64
 	accepted  atomic.Int64
 	shed      atomic.Int64
+	fairShed  atomic.Int64
+	doomed    atomic.Int64
+	degraded  atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	panics    atomic.Int64
 	retries   atomic.Int64
+
+	jobsAccepted  atomic.Int64
+	jobsRecovered atomic.Int64
+	jobsRequeued  atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
 }
 
-// New starts a server: opens the cache (if configured) and launches the
-// worker pool.
+// New starts a server: opens the cache and the job journal (if configured),
+// recovers and re-enqueues journal jobs a previous process left unfinished,
+// and launches the worker pool. The server reports ready (/readyz) only
+// after recovery completes.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth)}
+	s := &Server{cfg: cfg, adm: newAdmission(cfg), jobs: map[string]*asyncJob{}}
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
+	var recovered []*recoveredJob
 	if cfg.CacheDir != "" {
 		c, err := OpenDiskCache(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
 		s.cache = c
+		j, jobs, maxSeq, err := openJournal(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.seq.Store(maxSeq)
+		recovered = jobs
 	}
+	// Size the queue for the admission depth plus every recovered re-run:
+	// reserved submissions and the recovery sweep can then never block on
+	// the channel, so admission decisions stay immediate.
+	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
+	s.recover(recovered)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	s.ready.Store(true)
 	return s, nil
+}
+
+// recover materializes journal jobs: terminal ones become served records
+// (their results re-read from the cache), and accepted-but-unfinished ones
+// — including "done" jobs whose cache entry did not survive — are
+// re-enqueued and re-run. Acknowledged work is never silently lost.
+func (s *Server) recover(jobs []*recoveredJob) {
+	for _, rj := range jobs {
+		s.jobsRecovered.Add(1)
+		aj := &asyncJob{id: rj.id, endpoint: rj.endpoint, tenant: rj.tenant,
+			key: rj.key, budget: rj.budget, req: rj.req, log: newEventLog()}
+		aj.log.publish(Event{Job: aj.id, Type: "accepted"})
+		s.jobs[aj.id] = aj
+		switch {
+		case rj.done:
+			if _, ok := s.cache.Get(rj.key); ok {
+				aj.complete(nil) // the result lives in the cache
+				aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+				continue
+			}
+			// The journal says done but the result is gone (torn entry
+			// quarantined, cache wiped): re-run rather than serve nothing.
+		case rj.jerr != nil:
+			aj.fail(rj.jerr)
+			aj.log.publish(Event{Job: aj.id, Type: terminalType(rj.jerr), Terminal: true,
+				Kind: rj.jerr.Kind, Message: rj.jerr.Message, Attempts: rj.jerr.Attempts})
+			continue
+		}
+		s.jobsRequeued.Add(1)
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultDeadline)
+		j := &job{
+			seq: s.seq.Add(1), endpoint: rj.endpoint, req: rj.req, key: rj.key,
+			tenant: rj.tenant, budget: rj.budget, async: aj, recovered: true,
+			enqueuedAt: time.Now(), ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		}
+		aj.log.publish(Event{Job: aj.id, Type: "requeued"})
+		s.admissions.Add(1)
+		s.queue <- j
+	}
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
+	queued, rate, wait := s.adm.snapshot()
 	return Stats{
-		Accepted: s.accepted.Load(), Shed: s.shed.Load(), Rejected: s.rejected.Load(),
+		Accepted: s.accepted.Load(), Shed: s.shed.Load(),
+		FairShed: s.fairShed.Load(), Doomed: s.doomed.Load(), Degraded: s.degraded.Load(),
+		Rejected: s.rejected.Load(),
 		Completed: s.completed.Load(), Failed: s.failed.Load(),
 		Panics: s.panics.Load(), Retries: s.retries.Load(),
+		Jobs: JobStats{
+			Accepted: s.jobsAccepted.Load(), Recovered: s.jobsRecovered.Load(),
+			Requeued: s.jobsRequeued.Load(), Done: s.jobsDone.Load(), Failed: s.jobsFailed.Load(),
+		},
+		Queue: QueueStats{Depth: s.cfg.QueueDepth, Queued: queued,
+			DrainRatePerSec: rate, EstWaitMS: wait},
 		Cache: s.cache.Stats(),
 	}
 }
 
-// submit admits one request: it refuses while draining, sheds on a full
-// queue, and otherwise enqueues a job whose done channel the caller may wait
-// on. Admission and the draining flag are checked under one lock, so no job
-// can slip in after Shutdown has begun counting stragglers.
-func (s *Server) submit(endpoint string, req Request, key string) (*job, *JobError) {
+// deadlineFor resolves a request's deadline budget.
+func (s *Server) deadlineFor(req Request) time.Duration {
 	deadline := s.cfg.DefaultDeadline
 	if req.TimeoutMS > 0 {
 		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -221,48 +377,150 @@ func (s *Server) submit(endpoint string, req Request, key string) (*job, *JobErr
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
+	return deadline
+}
+
+// submit admits one request through the adaptive controller: it refuses
+// while draining; sheds on a full queue, on a tenant over its fair share
+// under contention, or when the request's deadline is already doomed by the
+// measured queue wait; under sustained saturation it admits /search with a
+// degraded candidate budget instead of shedding. wantAsync additionally
+// creates the durable job record (journaled before the queue, so an
+// acknowledged job survives a crash).
+//
+// Exactly one of the three returns is non-nil: a queued job, a cached body
+// (a degraded-key cache hit needing no pool time), or the typed refusal.
+func (s *Server) submit(endpoint string, req Request, tenant string, wantAsync bool) (*job, []byte, *JobError) {
+	deadline := s.deadlineFor(req)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
+		return nil, nil, &JobError{Kind: KindDraining, Message: "server is draining",
+			RetryAfter: s.adm.retryAfter(s.seq.Add(1))}
 	}
 	s.admissions.Add(1)
 	s.mu.Unlock()
 
+	seq := s.seq.Add(1)
+	dec := s.adm.admit(endpoint, tenant, deadline, seq, time.Now())
+	if dec.shed != nil {
+		s.admissions.Done()
+		switch {
+		case dec.shed.Kind == KindDeadline:
+			s.doomed.Add(1)
+		case dec.reason == "fair":
+			s.fairShed.Add(1)
+			s.shed.Add(1)
+		default:
+			s.shed.Add(1)
+		}
+		return nil, nil, dec.shed
+	}
+
+	key := contentKey(endpoint, req, dec.budget)
+	if dec.budget > 0 {
+		// A saturated server may already hold the degraded answer; serving
+		// it costs no pool time, so give the slot back.
+		if body, ok := s.cache.Get(key); ok {
+			s.adm.release(tenant)
+			s.admissions.Done()
+			return nil, body, nil
+		}
+		s.degraded.Add(1)
+	}
+
 	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
 	j := &job{
-		seq: s.seq.Add(1), endpoint: endpoint, req: req, key: key,
+		seq: seq, endpoint: endpoint, req: req, key: key, tenant: tenant,
+		budget: dec.budget, enqueuedAt: time.Now(),
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-		s.accepted.Add(1)
-		return j, nil
-	default:
-		cancel()
-		s.admissions.Done()
-		s.shed.Add(1)
-		return nil, &JobError{Kind: KindShed, Message: "admission queue full"}
+	if wantAsync {
+		aj := &asyncJob{id: jobID(seq), endpoint: endpoint, tenant: tenant,
+			key: key, budget: dec.budget, req: req, log: newEventLog()}
+		if err := s.journal.Append(journalRec{Op: "accepted", ID: aj.id,
+			Endpoint: endpoint, Tenant: tenant, Key: key, Budget: dec.budget, Req: &req}); err != nil {
+			cancel()
+			s.adm.release(tenant)
+			s.admissions.Done()
+			return nil, nil, &JobError{Kind: KindInternal,
+				Message: "job journal write failed: " + err.Error()}
+		}
+		s.jobsMu.Lock()
+		s.jobs[aj.id] = aj
+		s.jobsMu.Unlock()
+		s.jobsAccepted.Add(1)
+		j.async = aj
+		aj.log.publish(Event{Job: aj.id, Type: "accepted"})
 	}
+	j.emit(Event{Type: "queued", QueuePos: dec.pos})
+	if dec.budget > 0 {
+		j.emit(Event{Type: "degraded", Budget: dec.budget})
+	}
+	s.accepted.Add(1)
+	// The reservation guarantees a slot: at most QueueDepth reservations are
+	// outstanding and the channel holds QueueDepth beyond the recovery jobs.
+	s.queue <- j
+	return j, nil, nil
 }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		if !j.recovered {
+			s.adm.dequeued(j.tenant, time.Since(j.enqueuedAt), time.Now())
+		}
+		if j.async != nil {
+			s.journal.Append(journalRec{Op: "running", ID: j.async.id})
+		}
 		s.runJob(j)
 		j.cancel()
 		s.admissions.Done()
 	}
 }
 
+// terminalType maps a failure to its stream event type: shutdown-flavored
+// failures stream as "canceled", everything else as "failed".
+func terminalType(jerr *JobError) string {
+	if jerr.Kind == KindCanceled || jerr.Kind == KindDraining {
+		return "canceled"
+	}
+	return "failed"
+}
+
+// finalize settles a finished job's durable record and stream: the terminal
+// journal record, the async result/error, and the guaranteed terminal
+// event. It runs before j.done closes, on every exit path of runJob.
+func (s *Server) finalize(j *job) {
+	aj := j.async
+	if aj == nil {
+		return
+	}
+	if j.jerr == nil {
+		s.journal.Append(journalRec{Op: "done", ID: aj.id, Key: j.key})
+		aj.complete(j.result)
+		s.jobsDone.Add(1)
+		aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+		return
+	}
+	s.journal.Append(journalRec{Op: "failed", ID: aj.id, Kind: j.jerr.Kind,
+		Message: j.jerr.Message, Attempts: j.jerr.Attempts})
+	aj.fail(j.jerr)
+	s.jobsFailed.Add(1)
+	aj.log.publish(Event{Job: aj.id, Type: terminalType(j.jerr), Terminal: true,
+		Kind: j.jerr.Kind, Message: j.jerr.Message, Attempts: j.jerr.Attempts})
+}
+
 // runJob evaluates one job with panic isolation: a panicking attempt is
 // recorded, backed off, and retried up to cfg.Retries times; every exit path
-// closes j.done exactly once, so no caller is ever left waiting and no queue
-// slot is ever wedged.
+// closes j.done exactly once — after finalize has journaled the outcome and
+// published the terminal event — so no caller is ever left waiting, no
+// queue slot is ever wedged, and no event stream is left unterminated.
 func (s *Server) runJob(j *job) {
 	defer close(j.done)
+	defer s.finalize(j)
 	if s.cfg.gate != nil {
 		s.cfg.gate(j)
 	}
@@ -273,6 +531,7 @@ func (s *Server) runJob(j *job) {
 			s.failed.Add(1)
 			return
 		}
+		j.emit(Event{Type: "running", Attempt: attempt})
 		out, err := s.attempt(j)
 		if err == nil {
 			j.result = out
@@ -313,7 +572,11 @@ func (s *Server) attempt(j *job) (out []byte, err error) {
 		j.panicked = true
 		panic(fmt.Sprintf("chaos: injected panic on job %d", j.seq))
 	}
-	return evaluate(j.ctx, j.endpoint, j.req)
+	var hooks *evalHooks
+	if j.async != nil || j.budget > 0 {
+		hooks = &evalHooks{budget: j.budget, emit: j.emit}
+	}
+	return evaluate(j.ctx, j.endpoint, j.req, hooks)
 }
 
 type panicError struct {
@@ -364,11 +627,15 @@ func (s *Server) classify(j *job, err error) *JobError {
 
 // Shutdown drains gracefully: new work is refused at the door, in-flight and
 // queued jobs get up to the drain timeout (bounded further by ctx) to
-// finish, stragglers are canceled, and the pool exits. Safe to call once;
-// later calls return immediately.
+// finish, stragglers are canceled, and the pool exits. Every async job
+// reaches a terminal state — and its event stream a terminal event — before
+// Shutdown returns, which is what lets the caller close the HTTP listener
+// afterwards without cutting a stream short. Safe to call once; later calls
+// return immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.shutdown.Do(func() {
+		s.ready.Store(false)
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
@@ -394,6 +661,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 		s.workers.Wait()
 		s.abort()
+		s.journal.Close()
 	})
 	return err
 }
@@ -406,6 +674,17 @@ func (s *Server) Close() {
 	s.Shutdown(ctx)
 }
 
+// crash abandons the server the way kill -9 would — the test seam behind
+// the restart-recovery proof. The journal stops accepting writes without a
+// flush and in-flight work is canceled; nothing is drained, recorded, or
+// acknowledged past this point.
+func (s *Server) crash() {
+	if s.journal != nil {
+		s.journal.crash()
+	}
+	s.abort()
+}
+
 // Handler routes the service's endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -413,8 +692,24 @@ func (s *Server) Handler() http.Handler {
 		ep := ep
 		mux.HandleFunc("POST "+ep, func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, ep) })
 	}
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		switch {
+		case draining:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case !s.ready.Load():
+			http.Error(w, "recovering journal", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ready")
+		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -426,6 +721,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 const maxBodyBytes = 4 << 20
+
+// tenantOf resolves the request's fair-share account.
+func tenantOf(r *http.Request) string {
+	return r.Header.Get("X-Tenant")
+}
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string) {
 	var req Request
@@ -440,18 +740,22 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 		s.writeError(w, &JobError{Kind: KindInvalid, Message: err.Error()})
 		return
 	}
-	key := contentKey(endpoint, req)
 
 	// Cache hits bypass admission entirely: they cost no pool time, so a
-	// saturated queue must not shed them.
-	if body, ok := s.cache.Get(key); ok {
-		s.writeResult(w, body, "hit")
+	// saturated queue must not shed them. Full-fidelity entries are checked
+	// first — a hit beats a degraded recompute.
+	if body, ok := s.cache.Get(contentKey(endpoint, req, 0)); ok {
+		s.writeResult(w, body, "hit", 0)
 		return
 	}
 
-	j, jerr := s.submit(endpoint, req, key)
+	j, cached, jerr := s.submit(endpoint, req, tenantOf(r), false)
 	if jerr != nil {
 		s.writeError(w, jerr)
+		return
+	}
+	if cached != nil {
+		s.writeResult(w, cached, "hit", s.cfg.DegradeKeep)
 		return
 	}
 	select {
@@ -465,22 +769,27 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 		s.writeError(w, j.jerr)
 		return
 	}
-	s.writeResult(w, j.result, "miss")
+	s.writeResult(w, j.result, "miss", j.budget)
 }
 
-func (s *Server) writeResult(w http.ResponseWriter, body []byte, cache string) {
+func (s *Server) writeResult(w http.ResponseWriter, body []byte, cache string, budget int) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cache)
+	if budget > 0 {
+		w.Header().Set("X-Degraded", strconv.Itoa(budget))
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, jerr *JobError) {
 	w.Header().Set("Content-Type", "application/json")
-	switch jerr.Kind {
-	case KindShed:
+	switch {
+	case jerr.RetryAfter > 0:
+		w.Header().Set("Retry-After", strconv.Itoa(jerr.RetryAfter))
+	case jerr.Kind == KindShed:
 		w.Header().Set("Retry-After", "1")
-	case KindDraining, KindCanceled:
+	case jerr.Kind == KindDraining, jerr.Kind == KindCanceled:
 		w.Header().Set("Retry-After", "5")
 	}
 	w.WriteHeader(jerr.HTTPStatus())

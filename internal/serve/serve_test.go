@@ -181,13 +181,22 @@ func TestServeShedsOnFullQueue(t *testing.T) {
 	defer close(release)
 
 	// Occupy the worker, then the queue slot. Distinct bodies, so no cache
-	// interplay; poll stats until both are admitted. These goroutines may
-	// outlive the test body, so they must not touch t.
+	// interplay; poll stats until both are admitted. The two occupiers race
+	// each other for the single slot, so the loser retries its shed until
+	// it lands. These goroutines may outlive the test body, so they must
+	// not touch t.
 	occupy := func(body string) {
-		resp, err := http.Post(hs.URL+"/run", "application/json", strings.NewReader(body))
-		if err == nil {
+		for {
+			resp, err := http.Post(hs.URL+"/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return
+			}
+			time.Sleep(time.Millisecond)
 		}
 	}
 	go occupy(`{"GS":true,"Defines":{"N":16},"Procs":2}`)
