@@ -11,6 +11,10 @@
 //	pdload                         # 5000 requests, 2000 clients, 2 seeded runs
 //	pdload -requests 2000 -concurrency 500 -repeat 1
 //	pdload -json BENCH_load.json   # also write the first run's report
+//	pdload -metrics                # also gate on /metrics reconciling with ground truth
+//	pdload -mix tame -concurrency 1 -metrics-compare
+//	                               # racy ops remapped; counter values must
+//	                               # reproduce exactly across the seeded runs
 //
 // With -repeat > 1 every run uses the same seed against a fresh server and
 // the digests of later runs must match the first — the cross-run half of
@@ -39,11 +43,19 @@ func main() {
 		degradeAt   = flag.Float64("degrade-at", 0.5, "server occupancy past which /search degrades")
 		timeout     = flag.Duration("client-timeout", 60*time.Second, "per-operation hang bound")
 		jsonOut     = flag.String("json", "", "write the first run's report to this file")
+		mixFlag     = flag.String("mix", "chaos", "operation mix: chaos (disconnects + doomed deadlines) or tame (reproducible outcome counters)")
+		metricsGate = flag.Bool("metrics", false, "fail the gate when the post-drain /metrics scrape does not reconcile with the server's ground truth")
+		metricsCmp  = flag.Bool("metrics-compare", false, "with -repeat > 1: require later runs to scrape the same counter values as run 1 (needs -mix tame)")
 	)
 	flag.Parse()
 
+	if *metricsCmp && *mixFlag != "tame" {
+		fatal(fmt.Errorf("-metrics-compare needs -mix tame: the chaos mix races disconnects and deadlines against the server, so its counters are not reproducible"))
+	}
+
 	cfg := load.Config{
 		Requests: *requests, Concurrency: *concurrency, Seed: *seed,
+		Mix:           *mixFlag,
 		ClientTimeout: *timeout,
 		Server: serve.Config{
 			QueueDepth: *queue, Workers: *workers,
@@ -64,9 +76,12 @@ func main() {
 			rep.Latency.P50, rep.Latency.P99, rep.Latency.P999,
 			rep.Hung, rep.JobsTerminal, rep.JobsSubmitted,
 			rep.Stats.Degraded, rep.Stats.Shed, rep.Stats.Doomed)
-		if err := rep.Gate(); err != nil {
+		if err := rep.Gate(*metricsGate); err != nil {
 			fmt.Fprintln(os.Stderr, "pdload:", err)
 			failed = true
+		}
+		if rep.MetricsCheck != "" && !*metricsGate {
+			fmt.Fprintln(os.Stderr, "pdload: warning: metrics reconciliation:", rep.MetricsCheck)
 		}
 		if first == nil {
 			first = rep
@@ -90,6 +105,14 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("pdload: run %d reproduced run 1 byte-for-byte on %d shared identities\n", run, shared(first.Digests, rep.Digests))
+		}
+		if *metricsCmp {
+			if bad := load.CompareMetrics(first.Metrics, rep.Metrics); len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "pdload: run %d scraped different counters from run 1 for %d samples: %v\n", run, len(bad), bad)
+				failed = true
+			} else {
+				fmt.Printf("pdload: run %d scraped identical counter values to run 1 (%d samples compared)\n", run, len(first.Metrics))
+			}
 		}
 	}
 	if failed {

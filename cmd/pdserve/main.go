@@ -10,10 +10,19 @@
 // job's result, GET /jobs/<id>/events streams its NDJSON progress, and
 // /healthz and /readyz report liveness and readiness.
 //
+// Observability: GET /metrics serves the full counter/gauge/histogram
+// catalog in Prometheus text exposition; every request carries a request ID
+// (adopted from X-Request-Id or minted, always echoed back) that tags its
+// structured log lines (GET /logz?req=<id>), its job events, and its trace;
+// ?trace=1 on a synchronous request — or on POST /jobs, read back via GET
+// /jobs/<id>/trace — returns a Chrome trace stitching the service's
+// wall-clock spans with the machine's virtual-time spans.
+//
 // Usage:
 //
 //	pdserve -addr :8420 -cache /var/cache/pdserve
 //	pdserve -smoke -json    # self-check: serve, hammer, report, exit
+//	pdserve -debug-addr 127.0.0.1:8421   # net/http/pprof, on its own listener
 //
 // Every response is a deterministic function of the request body; identical
 // requests are answered with identical bytes, before or after a restart.
@@ -21,10 +30,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,14 +64,46 @@ func main() {
 		smokeN     = flag.Int("smoke-requests", 60, "smoke request count")
 		smokeC     = flag.Int("smoke-concurrency", 8, "smoke client concurrency")
 		jsonOut    = flag.String("json", "", "with -smoke: also write the report to this file")
+		metricsOut = flag.String("metrics-json", "", "with -smoke: write the scraped (and reconciled) counter samples to this file")
+		debugAddr  = flag.String("debug-addr", "", "also serve net/http/pprof on this address (kept off the public listener)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON on stderr (default: human-readable text)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
 
 	cfg := serve.Config{
 		QueueDepth: *queue, Workers: *workers,
 		DefaultDeadline: *deadline, MaxDeadline: *maxDL, DrainTimeout: *drain,
 		Retries: *retries, CacheDir: *cacheDir, PanicEvery: *panicEvery,
 		FairShareAt: *fairAt, DegradeAt: *degradeAt, DegradeKeep: *degKeep,
+		LogHandler: handler,
+	}
+
+	// The profiler is opt-in and always on its own listener: exposing pprof
+	// on the public address would hand every client heap and goroutine dumps.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pdserve: debug listener (pprof) on %s\n", dln.Addr())
+		go http.Serve(dln, dmux)
 	}
 
 	if *smoke {
@@ -66,17 +111,16 @@ func main() {
 		if rep != nil {
 			rep.WriteJSON(os.Stdout)
 			if *jsonOut != "" {
-				f, ferr := os.Create(*jsonOut)
-				if ferr != nil {
-					fatal(ferr)
-				}
-				if ferr := rep.WriteJSON(f); ferr != nil {
-					f.Close()
-					fatal(ferr)
-				}
-				if ferr := f.Close(); ferr != nil {
-					fatal(ferr)
-				}
+				writeJSONFile(*jsonOut, rep.WriteJSON)
+			}
+			if *metricsOut != "" {
+				// Just the reconciled counter samples — a stable artifact CI
+				// can diff between runs without the timing fields.
+				writeJSONFile(*metricsOut, func(w io.Writer) error {
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					return enc.Encode(rep.Metrics)
+				})
 			}
 		}
 		if err != nil {
@@ -122,6 +166,20 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("pdserve: done: %d completed, %d failed, %d shed, %d panics isolated\n",
 		st.Completed, st.Failed, st.Shed, st.Panics)
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

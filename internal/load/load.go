@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"procdecomp/internal/obs"
 	"procdecomp/internal/serve"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// Seed drives every random choice: the request mix, tenants, timeouts,
 	// and disconnects. Equal seeds produce equal request sequences.
 	Seed uint64
+	// Mix selects the operation mix: "chaos" (default) includes mid-flight
+	// disconnects and deadline-doomed requests; "tame" remaps both to plain
+	// synchronous operations, leaving a schedule whose outcome counters are
+	// reproducible across runs (disconnect and doom outcomes race the
+	// server's progress, so only the tame mix supports exact cross-run
+	// counter comparison).
+	Mix string
 	// Server configures the in-process server under test. Zero values take
 	// the serve defaults; the harness leaves chaos knobs to the caller.
 	Server serve.Config
@@ -69,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobPoll <= 0 {
 		c.JobPoll = 5 * time.Millisecond
+	}
+	if c.Mix == "" {
+		c.Mix = "chaos"
 	}
 	return c
 }
@@ -112,6 +123,14 @@ type Report struct {
 	// produced two different bodies in this run (must be 0).
 	Digests         map[string]string
 	DigestConflicts int
+
+	// Metrics holds every counter sample scraped from /metrics after the
+	// drain, keyed by the sample's canonical name{labels} form.
+	// MetricsCheck is the outcome of reconciling that scrape against the
+	// server's ground-truth Stats: "" when every identity held, else the
+	// first violation. Gate(true) makes a non-empty check a failure.
+	Metrics      map[string]float64 `json:",omitempty"`
+	MetricsCheck string             `json:",omitempty"`
 
 	// Stats is the server's own view after drain.
 	Stats serve.Stats
@@ -199,6 +218,18 @@ func planFor(seed uint64, i, ntmpl int) plan {
 	return p
 }
 
+// tamePlan remaps the racy operation kinds — disconnects and doomed
+// deadlines, whose outcomes depend on how far the server got — to plain
+// synchronous operations. The schedule stays a pure function of (seed, i);
+// only the outcome-nondeterministic kinds are gone.
+func tamePlan(p plan) plan {
+	if p.kind == opDisconnect || p.kind == opDoomed {
+		p.kind = opSync
+		p.cancelMS = 0
+	}
+	return p
+}
+
 // mix is splitmix64's finalizer — the same deterministic hash the server
 // uses for Retry-After jitter.
 func mix(seed, i uint64) uint64 {
@@ -218,6 +249,9 @@ func mix(seed, i uint64) uint64 {
 // the durable-job and cache paths are always under load.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Mix != "chaos" && cfg.Mix != "tame" {
+		return nil, fmt.Errorf("load: unknown mix %q (want chaos or tame)", cfg.Mix)
+	}
 	if cfg.Server.CacheDir == "" {
 		dir, err := os.MkdirTemp("", "pdload-cache-*")
 		if err != nil {
@@ -277,6 +311,12 @@ func Run(cfg Config) (*Report, error) {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	s.Shutdown(shutCtx)
+
+	// Scrape /metrics over the wire after the drain (the reconciliation
+	// identities need every job settled) but before the listener closes, then
+	// verify the scrape against the server's ground-truth Stats. The check's
+	// outcome ships in the report; Gate(true) turns it into a hard failure.
+	metrics, metricsCheck := scrapeCounters(client, base, s)
 	hs.Shutdown(shutCtx)
 
 	h.mu.Lock()
@@ -291,9 +331,39 @@ func Run(cfg Config) (*Report, error) {
 		DegradedReplies: h.degraded,
 		Latency:         percentiles(h.latencies),
 		Digests:         h.digests, DigestConflicts: h.conflicts,
+		Metrics: metrics, MetricsCheck: metricsCheck,
 		Stats: s.Stats(),
 	}
 	return rep, nil
+}
+
+// scrapeCounters reads /metrics over the wire, verifies the scrape against
+// the drained server's Stats, and flattens the counter samples for the
+// report. A scrape or parse failure lands in the check string too — an
+// unscrapeable exposition is itself a reconciliation failure.
+func scrapeCounters(client *http.Client, base string, s *serve.Server) (map[string]float64, string) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Sprintf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Sprintf("scrape: status %d", resp.StatusCode)
+	}
+	sc, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Sprintf("scrape does not parse: %v", err)
+	}
+	out := map[string]float64{}
+	for _, smp := range sc.Samples {
+		if sc.Types[smp.Name] == "counter" {
+			out[smp.Key()] = smp.Value
+		}
+	}
+	if err := serve.VerifyScrape(sc, s.Stats()); err != nil {
+		return out, err.Error()
+	}
+	return out, ""
 }
 
 func awaitReady(client *http.Client, base string) error {
@@ -373,6 +443,9 @@ func (h *harness) record(tmplKey, budget string, body []byte) {
 
 func (h *harness) operate(i int) {
 	p := planFor(h.cfg.Seed, i, len(h.tmpls))
+	if h.cfg.Mix == "tame" {
+		p = tamePlan(p)
+	}
 	t := h.tmpls[p.tmpl]
 	switch p.kind {
 	case opSync:
@@ -623,8 +696,10 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // Gate returns an error when a robustness gate fails: a hung operation, a
-// non-terminal acknowledged job, or a byte-identity conflict.
-func (r *Report) Gate() error {
+// non-terminal acknowledged job, or a byte-identity conflict. With metrics
+// set, a failed metrics reconciliation (Report.MetricsCheck) fails the gate
+// too.
+func (r *Report) Gate(metrics bool) error {
 	var problems []string
 	if r.Hung > 0 {
 		problems = append(problems, fmt.Sprintf("%d hung operations", r.Hung))
@@ -634,6 +709,9 @@ func (r *Report) Gate() error {
 	}
 	if r.DigestConflicts > 0 {
 		problems = append(problems, fmt.Sprintf("%d byte-identity conflicts", r.DigestConflicts))
+	}
+	if metrics && r.MetricsCheck != "" {
+		problems = append(problems, "metrics reconciliation: "+r.MetricsCheck)
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("load: gate failed: %s", strings.Join(problems, "; "))
@@ -647,6 +725,39 @@ func CompareDigests(a, b map[string]string) []string {
 	var bad []string
 	for k, av := range a {
 		if bv, ok := b[k]; ok && av != bv {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// CompareMetrics checks two seeded tame-mix runs for equal counter values
+// over the union of their samples (a counter present in one run and absent
+// in the other is a mismatch too) and returns the differing keys. Two
+// families are exempt even under the tame mix:
+//
+//   - timing counters (any family naming "seconds"): wall-clock sums differ
+//     between equal runs by construction;
+//   - pdserve_http_requests_total: the harness polls /readyz and /jobs/{id}
+//     on wall-clock intervals, so the HTTP edge sees a run-dependent number
+//     of polls even when every logical outcome is identical.
+func CompareMetrics(a, b map[string]float64) []string {
+	union := map[string]bool{}
+	for k := range a {
+		union[k] = true
+	}
+	for k := range b {
+		union[k] = true
+	}
+	var bad []string
+	for k := range union {
+		if strings.Contains(k, "seconds") || strings.HasPrefix(k, "pdserve_http_requests_total") {
+			continue
+		}
+		av, aok := a[k]
+		bv, bok := b[k]
+		if !aok || !bok || av != bv {
 			bad = append(bad, k)
 		}
 	}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request-ID plumbing: an ID is generated (or adopted from the client) at
+// HTTP ingress, stored in the request context, and carried through admission,
+// the queue, the worker pool, retries, journal records, and job events — so
+// one grep over the structured log, one filter over /jobs/<id>/events, and
+// one stitched trace all answer "what happened to this request".
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// Line is one retained log record, pre-rendered for /logz and tests.
+type Line struct {
+	Time  time.Time
+	Level slog.Level
+	Req   string // request ID, from the record's context
+	Text  string // "msg key=value ..." with keys sorted
+}
+
+// Ring is a slog.Handler that retains the last N records in memory (indexed
+// by request ID) and optionally tees every record to a next handler (stderr
+// text or JSON in pdserve). Retention is what makes "give me every log line
+// of request X" answerable from the process itself via GET /logz?req=X —
+// no log shipping required. All methods are safe for concurrent use.
+type Ring struct {
+	next  slog.Handler // may be nil
+	attrs []slog.Attr  // accumulated WithAttrs state
+
+	mu    *sync.Mutex
+	lines *[]Line // ring storage, shared across WithAttrs clones
+	head  *int
+	cap   int
+}
+
+// NewRing returns a ring retaining up to capacity lines (default 4096),
+// teeing records to next when non-nil.
+func NewRing(capacity int, next slog.Handler) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	lines := make([]Line, 0, capacity)
+	head := 0
+	return &Ring{next: next, mu: &sync.Mutex{}, lines: &lines, head: &head, cap: capacity}
+}
+
+// Enabled reports whether the record would be retained or forwarded. The
+// ring itself retains everything down to Debug; the tee may be stricter but
+// it cannot veto retention.
+func (r *Ring) Enabled(ctx context.Context, level slog.Level) bool {
+	return level >= slog.LevelDebug
+}
+
+// Handle retains the record and forwards it to the tee.
+func (r *Ring) Handle(ctx context.Context, rec slog.Record) error {
+	req := RequestID(ctx)
+	attrs := make([]slog.Attr, 0, rec.NumAttrs()+len(r.attrs)+1)
+	attrs = append(attrs, r.attrs...)
+	rec.Attrs(func(a slog.Attr) bool { attrs = append(attrs, a); return true })
+	for _, a := range attrs {
+		if a.Key == "req" && req == "" {
+			req = a.Value.String()
+		}
+	}
+
+	pairs := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		if a.Key == "req" {
+			continue // carried in Line.Req, re-rendered canonically
+		}
+		pairs = append(pairs, fmt.Sprintf("%s=%v", a.Key, a.Value))
+	}
+	sort.Strings(pairs)
+	text := rec.Message
+	if len(pairs) > 0 {
+		text += " " + strings.Join(pairs, " ")
+	}
+	ln := Line{Time: rec.Time, Level: rec.Level, Req: req, Text: text}
+
+	r.mu.Lock()
+	if len(*r.lines) < r.cap {
+		*r.lines = append(*r.lines, ln)
+	} else {
+		(*r.lines)[*r.head] = ln
+		*r.head = (*r.head + 1) % r.cap
+	}
+	r.mu.Unlock()
+
+	if r.next != nil && r.next.Enabled(ctx, rec.Level) {
+		if req != "" {
+			rec = rec.Clone()
+			rec.AddAttrs(slog.String("req", req))
+		}
+		return r.next.Handle(ctx, rec)
+	}
+	return nil
+}
+
+// WithAttrs returns a handler sharing this ring's storage with the extra
+// attrs bound.
+func (r *Ring) WithAttrs(attrs []slog.Attr) slog.Handler {
+	clone := *r
+	clone.attrs = append(append([]slog.Attr(nil), r.attrs...), attrs...)
+	if r.next != nil {
+		clone.next = r.next.WithAttrs(attrs)
+	}
+	return &clone
+}
+
+// WithGroup flattens the group into a key prefix (good enough for the flat
+// key=value lines the service emits).
+func (r *Ring) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return r
+	}
+	clone := *r
+	if r.next != nil {
+		clone.next = r.next.WithGroup(name)
+	}
+	return &clone
+}
+
+// Lines returns the retained records in arrival order, filtered to the
+// request ID when reqID is non-empty.
+func (r *Ring) Lines(reqID string) []Line {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Line, 0, len(*r.lines))
+	n := len(*r.lines)
+	for i := 0; i < n; i++ {
+		ln := (*r.lines)[(*r.head+i)%n]
+		if reqID == "" || ln.Req == reqID {
+			out = append(out, ln)
+		}
+	}
+	return out
+}

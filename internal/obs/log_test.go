@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+func TestRingRetainsAndFiltersByRequestID(t *testing.T) {
+	ring := NewRing(16, nil)
+	log := slog.New(ring)
+	ctxA := WithRequestID(context.Background(), "r-a")
+	ctxB := WithRequestID(context.Background(), "r-b")
+	log.LogAttrs(ctxA, slog.LevelInfo, "request", slog.String("route", "/run"))
+	log.LogAttrs(ctxB, slog.LevelInfo, "request", slog.String("route", "/compile"))
+	log.LogAttrs(ctxA, slog.LevelDebug, "response", slog.Int("status", 200))
+
+	all := ring.Lines("")
+	if len(all) != 3 {
+		t.Fatalf("retained %d lines, want 3", len(all))
+	}
+	a := ring.Lines("r-a")
+	if len(a) != 2 {
+		t.Fatalf("request r-a has %d lines, want 2: %+v", len(a), all)
+	}
+	if a[0].Text != "request route=/run" || a[1].Text != "response status=200" {
+		t.Errorf("unexpected line text: %q, %q", a[0].Text, a[1].Text)
+	}
+	if b := ring.Lines("r-b"); len(b) != 1 || b[0].Req != "r-b" {
+		t.Errorf("request r-b lines = %+v", b)
+	}
+}
+
+func TestRingWrapsAtCapacityKeepingNewest(t *testing.T) {
+	ring := NewRing(4, nil)
+	log := slog.New(ring)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		log.LogAttrs(ctx, slog.LevelInfo, "m", slog.Int("i", i))
+	}
+	got := ring.Lines("")
+	if len(got) != 4 {
+		t.Fatalf("retained %d lines, want capacity 4", len(got))
+	}
+	want := []string{"m i=6", "m i=7", "m i=8", "m i=9"}
+	for i, ln := range got {
+		if ln.Text != want[i] {
+			t.Errorf("line %d = %q, want %q", i, ln.Text, want[i])
+		}
+	}
+}
+
+func TestRingWithAttrsSharesStorage(t *testing.T) {
+	ring := NewRing(8, nil)
+	log := slog.New(ring).With(slog.String("component", "journal"))
+	log.LogAttrs(WithRequestID(context.Background(), "r-x"), slog.LevelWarn, "append failed")
+	lines := ring.Lines("r-x")
+	if len(lines) != 1 {
+		t.Fatalf("derived logger's line not retained in parent ring: %+v", ring.Lines(""))
+	}
+	if lines[0].Text != "append failed component=journal" {
+		t.Errorf("line = %q", lines[0].Text)
+	}
+	if lines[0].Level != slog.LevelWarn {
+		t.Errorf("level = %v", lines[0].Level)
+	}
+	if lines[0].Time.IsZero() || time.Since(lines[0].Time) > time.Minute {
+		t.Errorf("implausible record time %v", lines[0].Time)
+	}
+}

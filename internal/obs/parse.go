@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The parser half of the measurement plane. The CI and pdload gates do not
+// trust the writer: they scrape /metrics over the wire and re-parse the text
+// with this strict parser, which rejects malformed exposition (a series
+// before its # TYPE, an unparsable sample line, an inconsistent histogram)
+// instead of skipping it. A scrape that parses is then handed to the
+// service's reconciliation identities — metrics that can drift are metrics
+// that lie.
+
+// Sample is one parsed series: a metric name (for histograms, the expanded
+// _bucket/_sum/_count name), its labels, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity — name plus sorted label pairs — the way
+// the cross-run determinism comparison indexes scrapes.
+func (s Sample) Key() string {
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Scrape is one parsed exposition payload.
+type Scrape struct {
+	// Types maps family name -> "counter"/"gauge"/"histogram".
+	Types map[string]string
+	// Samples holds every series line in input order.
+	Samples []Sample
+}
+
+// Value returns the single sample matching name and the given label subset,
+// or an error if none or several match.
+func (sc *Scrape) Value(name string, labels map[string]string) (float64, error) {
+	var found []Sample
+	for _, s := range sc.Samples {
+		if s.Name != name || !matches(s.Labels, labels) {
+			continue
+		}
+		found = append(found, s)
+	}
+	switch len(found) {
+	case 0:
+		return 0, fmt.Errorf("obs: no sample %s%v", name, labels)
+	case 1:
+		return found[0].Value, nil
+	default:
+		return 0, fmt.Errorf("obs: %d samples match %s%v", len(found), name, labels)
+	}
+}
+
+// Sum adds every sample of name whose labels include the given subset.
+func (sc *Scrape) Sum(name string, labels map[string]string) float64 {
+	total := 0.0
+	for _, s := range sc.Samples {
+		if s.Name == name && matches(s.Labels, labels) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Series returns every sample of the named family.
+func (sc *Scrape) Series(name string) []Sample {
+	var out []Sample
+	for _, s := range sc.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func matches(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePrometheus parses text exposition strictly. Every sample line must
+// parse, follow its family's # TYPE line, and agree with the declared type;
+// histogram series must be internally consistent (cumulative ascending
+// buckets ending at a +Inf bucket that equals _count).
+func ParsePrometheus(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: map[string]string{}}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, dup := sc.Types[fields[2]]; dup && prev != typ {
+					return nil, fmt.Errorf("obs: line %d: family %s re-typed %s -> %s", lineNo, fields[2], prev, typ)
+				}
+				sc.Types[fields[2]] = typ
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(s.Name, sc.Types)
+		typ, ok := sc.Types[fam]
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %s precedes its # TYPE", lineNo, s.Name)
+		}
+		if typ == "histogram" {
+			if s.Name == fam {
+				return nil, fmt.Errorf("obs: line %d: bare histogram sample %s", lineNo, s.Name)
+			}
+		} else if s.Name != fam {
+			return nil, fmt.Errorf("obs: line %d: suffixed sample %s on %s %s", lineNo, s.Name, typ, fam)
+		}
+		if typ == "counter" && s.Value < 0 {
+			return nil, fmt.Errorf("obs: line %d: negative counter %s", lineNo, s.Name)
+		}
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scrape read: %w", err)
+	}
+	if err := sc.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// familyOf strips the histogram suffixes when the base name is a declared
+// histogram family.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkHistograms verifies every histogram series: buckets cumulative and
+// ascending, a +Inf bucket present and equal to _count, _sum present.
+func (sc *Scrape) checkHistograms() error {
+	type hseries struct {
+		buckets []Sample
+		sum     *Sample
+		count   *Sample
+	}
+	byKey := map[string]*hseries{}
+	order := []string{}
+	get := func(fam string, labels map[string]string) *hseries {
+		rest := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := Sample{Name: fam, Labels: rest}.Key()
+		h, ok := byKey[key]
+		if !ok {
+			h = &hseries{}
+			byKey[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+	for i, s := range sc.Samples {
+		fam := familyOf(s.Name, sc.Types)
+		if sc.Types[fam] != "histogram" {
+			continue
+		}
+		h := get(fam, s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			h.buckets = append(h.buckets, s)
+		case strings.HasSuffix(s.Name, "_sum"):
+			h.sum = &sc.Samples[i]
+		case strings.HasSuffix(s.Name, "_count"):
+			h.count = &sc.Samples[i]
+		}
+	}
+	for _, key := range order {
+		h := byKey[key]
+		if h.sum == nil || h.count == nil {
+			return fmt.Errorf("obs: histogram %s missing _sum or _count", key)
+		}
+		prevBound, prevCum := math.Inf(-1), -1.0
+		sawInf := false
+		for _, b := range h.buckets {
+			le := b.Labels["le"]
+			var bound float64
+			if le == "+Inf" {
+				sawInf, bound = true, math.Inf(1)
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("obs: histogram %s: bad le %q", key, le)
+				}
+			}
+			if bound <= prevBound {
+				return fmt.Errorf("obs: histogram %s: buckets out of order at le=%q", key, le)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("obs: histogram %s: bucket counts not cumulative at le=%q", key, le)
+			}
+			prevBound, prevCum = bound, b.Value
+		}
+		if !sawInf {
+			return fmt.Errorf("obs: histogram %s: no +Inf bucket", key)
+		}
+		if prevCum != h.count.Value {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %v != count %v", key, prevCum, h.count.Value)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one `name{label="v",...} value` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("unparsable sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return s, fmt.Errorf("sample %q: want exactly one value field, got %d", line, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{a="b",c="d"}` starting at s[0]=='{', filling into and
+// returning the index one past the closing brace.
+func parseLabels(s string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		name := s[i : i+eq]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("bad label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value for %q", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

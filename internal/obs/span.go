@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wall-time spans and trace stitching. The simulated machine already emits
+// an exact virtual-time Chrome trace (internal/trace); the service records
+// its own wall-clock spans for each request — queued, attempt 1..N, the
+// terminal settle — and StitchChrome merges both into one Chrome trace file,
+// linked by the request ID. The two timelines use different clock domains
+// (wall microseconds vs. virtual cycles), so they render as separate process
+// tracks: within each track every relative length is exact; across tracks
+// the request ID in the span args is the join key.
+
+// Span is one wall-time interval of a request's life inside the service.
+type Span struct {
+	Name  string // "queued", "attempt 1", "done", ...
+	Cat   string // "service"
+	Start time.Time
+	End   time.Time
+	Args  map[string]string `json:",omitempty"`
+}
+
+// SpanRecorder accumulates a request's wall-time spans. Safe for concurrent
+// use; spans may be added out of order.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewSpanRecorder starts a recorder; t0 anchors the trace's microsecond zero.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{t0: time.Now()}
+}
+
+// Add records one finished span.
+func (r *SpanRecorder) Add(name, cat string, start, end time.Time, args map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, Span{Name: name, Cat: cat, Start: start, End: end, Args: args})
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *SpanRecorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Epoch returns the recorder's zero time.
+func (r *SpanRecorder) Epoch() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t0
+}
+
+// servicePid groups the wall-time spans into their own Chrome "process",
+// clear of the machine's processor (0...), node, and network (1<<20) tracks.
+const servicePid = 1 << 21
+
+// stitchEvent mirrors the Chrome trace-event JSON shape.
+type stitchEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// stitchSummary is the machine-readable payload under the stitched file's
+// top-level "pdobs" key (trace viewers ignore unknown keys).
+type stitchSummary struct {
+	RequestID     string
+	WallSpans     int
+	MachineEvents int
+	// Note documents the two clock domains for human readers of the file.
+	Note string
+}
+
+// StitchChrome builds one Chrome trace file from a request's wall-time
+// service spans and (optionally) the machine's virtual-time Chrome trace
+// bytes, both tagged with the request ID. Wall timestamps are microseconds
+// relative to epoch; machine timestamps stay in virtual cycles on their own
+// tracks. Returns a complete JSON document for chrome://tracing / Perfetto.
+func StitchChrome(reqID string, epoch time.Time, spans []Span, machineChrome []byte) ([]byte, error) {
+	events := make([]json.RawMessage, 0, len(spans)+2)
+	add := func(ev stitchEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		events = append(events, b)
+		return nil
+	}
+	if err := add(stitchEvent{Name: "process_name", Ph: "M", Pid: servicePid,
+		Args: map[string]string{"name": "service (wall time, µs)"}}); err != nil {
+		return nil, err
+	}
+	if err := add(stitchEvent{Name: "thread_name", Ph: "M", Pid: servicePid, Tid: 0,
+		Args: map[string]string{"name": "request " + reqID}}); err != nil {
+		return nil, err
+	}
+	for _, sp := range spans {
+		args := map[string]string{"request_id": reqID}
+		for k, v := range sp.Args {
+			args[k] = v
+		}
+		ev := stitchEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			Ts:  sp.Start.Sub(epoch).Microseconds(),
+			Dur: sp.End.Sub(sp.Start).Microseconds(),
+			Pid: servicePid, Tid: 0, Args: args,
+		}
+		if ev.Dur < 1 {
+			ev.Dur = 1 // zero-width spans vanish in viewers
+		}
+		if err := add(ev); err != nil {
+			return nil, err
+		}
+	}
+
+	machineEvents := 0
+	if len(machineChrome) > 0 {
+		var mt struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(machineChrome, &mt); err != nil {
+			return nil, fmt.Errorf("obs: machine trace does not parse: %w", err)
+		}
+		machineEvents = len(mt.TraceEvents)
+		events = append(events, mt.TraceEvents...)
+	}
+
+	doc := struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		PDObs           stitchSummary     `json:"pdobs"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		PDObs: stitchSummary{
+			RequestID: reqID, WallSpans: len(spans), MachineEvents: machineEvents,
+			Note: "service track timestamps are wall microseconds since request ingress; machine tracks are virtual cycles — relative lengths are exact within each track, and the request_id args link them",
+		},
+	}
+	return json.Marshal(doc)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestStitchChromeMergesBothClockDomains(t *testing.T) {
+	epoch := time.Now()
+	rec := NewSpanRecorder()
+	rec.Add("queued", "service", epoch, epoch.Add(2*time.Millisecond), map[string]string{"route": "/run"})
+	rec.Add("attempt 1", "service", epoch.Add(2*time.Millisecond), epoch.Add(9*time.Millisecond), nil)
+
+	machine := []byte(`{"traceEvents":[` +
+		`{"name":"compute","cat":"compute","ph":"X","ts":0,"dur":40,"pid":0,"tid":1},` +
+		`{"name":"send","cat":"send","ph":"X","ts":40,"dur":3,"pid":0,"tid":1}` +
+		`],"displayTimeUnit":"ns"}`)
+
+	out, err := StitchChrome("r-42", epoch, rec.Spans(), machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		PDObs struct {
+			RequestID     string
+			WallSpans     int
+			MachineEvents int
+		} `json:"pdobs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("stitched trace does not parse: %v", err)
+	}
+	if doc.PDObs.RequestID != "r-42" || doc.PDObs.WallSpans != 2 || doc.PDObs.MachineEvents != 2 {
+		t.Errorf("summary = %+v", doc.PDObs)
+	}
+	var service, machineEvs, linked int
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid == servicePid && ev.Ph == "X" {
+			service++
+			if ev.Args["request_id"] == "r-42" {
+				linked++
+			}
+		}
+		if ev.Pid == 0 && ev.Ph == "X" {
+			machineEvs++
+		}
+	}
+	if service != 2 || linked != 2 {
+		t.Errorf("service spans %d (linked %d), want 2 linked spans", service, linked)
+	}
+	if machineEvs != 2 {
+		t.Errorf("machine events %d, want 2 preserved verbatim", machineEvs)
+	}
+	// Wall span timestamps are relative microseconds, so the queued span
+	// starts at 0 and the attempt at 2000µs.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "queued" && ev.Ts != 0 {
+			t.Errorf("queued span ts = %d, want 0", ev.Ts)
+		}
+		if ev.Name == "attempt 1" && ev.Ts != 2000 {
+			t.Errorf("attempt span ts = %d, want 2000", ev.Ts)
+		}
+	}
+}
+
+func TestStitchChromeWithoutMachineTrace(t *testing.T) {
+	epoch := time.Now()
+	out, err := StitchChrome("r-7", epoch, []Span{
+		{Name: "queued", Cat: "service", Start: epoch, End: epoch.Add(time.Millisecond)},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("no traceEvents key")
+	}
+}
+
+func TestStitchChromeRejectsGarbageMachineTrace(t *testing.T) {
+	if _, err := StitchChrome("r", time.Now(), nil, []byte("not json")); err == nil {
+		t.Error("garbage machine trace accepted")
+	}
+}

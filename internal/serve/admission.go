@@ -92,6 +92,7 @@ func (a *admission) admit(endpoint, tenant string, remaining time.Duration, seq 
 				Kind:       KindShed,
 				Message:    fmt.Sprintf("tenant %q over fair share (%d of %d slots under contention)", tenant, share, a.depth),
 				RetryAfter: retryAfterSeconds(a.queued, a.drainRate, a.seed, seq),
+				cause:      "fair_share",
 			}}
 		}
 	}
@@ -102,6 +103,7 @@ func (a *admission) admit(endpoint, tenant string, remaining time.Duration, seq 
 				Message: fmt.Sprintf("deadline-doomed at admission: estimated queue wait %v exceeds remaining deadline %v",
 					wait.Round(time.Millisecond), remaining.Round(time.Millisecond)),
 				RetryAfter: retryAfterSeconds(a.queued, a.drainRate, a.seed, seq),
+				cause:      "doomed",
 			}}
 		}
 	}

@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -143,11 +144,15 @@ func contentKey(endpoint string, req Request, budget int) string {
 
 // evalHooks carries the per-job observation channels into an evaluation:
 // emit streams progress events (heartbeats, search tiers) to the job's
-// event log, and budget, when positive, caps the /search candidate set —
-// the degraded admission mode. A nil hooks runs full fidelity, silently.
+// event log; budget, when positive, caps the /search candidate set — the
+// degraded admission mode; wantTrace asks the machine run to record its
+// virtual-time trace and hand the Chrome bytes to chrome. A nil hooks runs
+// full fidelity, silently.
 type evalHooks struct {
-	budget int
-	emit   func(Event)
+	budget    int
+	emit      func(Event)
+	wantTrace bool
+	chrome    func([]byte)
 }
 
 func (h *evalHooks) publish(ev Event) {
@@ -362,6 +367,12 @@ func runOnce(ctx context.Context, req Request, tr *trace.Log, hooks *evalHooks) 
 	}
 	cfg := machine.DefaultConfig(req.Procs)
 	cfg.Tracer = tr
+	if hooks != nil && hooks.wantTrace && tr == nil {
+		// The caller wants the machine's Chrome trace but the evaluation does
+		// not otherwise record one: attach a log just for the stitch.
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
 	if hooks != nil && hooks.emit != nil {
 		cfg.HeartbeatEvery = heartbeatEvery
 		cfg.Heartbeat = func(clock machine.Cost) {
@@ -369,6 +380,12 @@ func runOnce(ctx context.Context, req Request, tr *trace.Log, hooks *evalHooks) 
 		}
 	}
 	out, err := exec.RunSPMDCtx(ctx, progs, cfg, ins)
+	if err == nil && hooks != nil && hooks.wantTrace && hooks.chrome != nil && tr != nil {
+		var buf bytes.Buffer
+		if werr := tr.WriteChromeTrace(&buf); werr == nil {
+			hooks.chrome(buf.Bytes())
+		}
+	}
 	return out, cfg, err
 }
 

@@ -31,6 +31,10 @@ type DiskCache struct {
 	misses     atomic.Int64
 	writes     atomic.Int64
 	quarantine atomic.Int64
+	// onOp, when set, observes every counted operation ("hit", "miss",
+	// "write", "quarantined") — the server's metrics mirror. Set before the
+	// cache sees traffic; never mutated after.
+	onOp func(op string)
 }
 
 const (
@@ -58,6 +62,13 @@ func OpenDiskCache(dir string) (*DiskCache, error) {
 	return &DiskCache{dir: dir}, nil
 }
 
+// observe reports one counted operation to the metrics mirror, if attached.
+func (c *DiskCache) observe(op string) {
+	if c.onOp != nil {
+		c.onOp(op)
+	}
+}
+
 func (c *DiskCache) path(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+cacheExt)
@@ -74,15 +85,18 @@ func (c *DiskCache) Get(key string) ([]byte, bool) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
+		c.observe("miss")
 		return nil, false
 	}
 	payload, err := decodeEntry(raw, key)
 	if err != nil {
 		c.quarantineEntry(path)
 		c.misses.Add(1)
+		c.observe("miss")
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.observe("hit")
 	return payload, true
 }
 
@@ -117,6 +131,7 @@ func (c *DiskCache) Put(key string, payload []byte) error {
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
 	c.writes.Add(1)
+	c.observe("write")
 	return nil
 }
 
@@ -129,6 +144,7 @@ func (c *DiskCache) quarantineEntry(path string) {
 		os.Remove(path) // last resort: a corrupt entry must not be re-served
 	}
 	c.quarantine.Add(1)
+	c.observe("quarantined")
 }
 
 // CacheStats is a point-in-time counter snapshot.

@@ -16,6 +16,12 @@ type Event struct {
 	Job  string // job ID
 	Seq  int    // position in the job's stream, dense from 0
 	Type string
+	// Req is the request ID of the submission that created the job, the join
+	// key into the structured logs and the stitched trace.
+	Req string `json:",omitempty"`
+	// WallMS is the wall-clock publish time in Unix milliseconds. The
+	// machine's Clock field stays virtual; this is the other clock domain.
+	WallMS int64 `json:",omitempty"`
 	// Terminal marks the stream's final event; nothing follows it.
 	Terminal bool `json:",omitempty"`
 
@@ -54,17 +60,28 @@ type eventLog struct {
 
 func newEventLog() *eventLog { return &eventLog{notify: make(chan struct{})} }
 
+// publishResult reports what became of one publish attempt, so the metrics
+// can distinguish a healthy drop (overflow past the cap) from a protocol
+// violation (an event after the terminal one).
+type publishResult int
+
+const (
+	published publishResult = iota
+	droppedTerminal
+	droppedOverflow
+)
+
 // publish appends the event (stamping its Seq) and wakes subscribers. After
 // a terminal event the log is sealed: later publishes are dropped, so
 // "exactly one terminal event" holds by construction.
-func (l *eventLog) publish(ev Event) {
+func (l *eventLog) publish(ev Event) publishResult {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.terminal {
-		return
+		return droppedTerminal
 	}
 	if len(l.events) >= maxJobEvents && !ev.Terminal {
-		return
+		return droppedOverflow
 	}
 	ev.Seq = len(l.events)
 	l.events = append(l.events, ev)
@@ -73,6 +90,7 @@ func (l *eventLog) publish(ev Event) {
 	}
 	close(l.notify)
 	l.notify = make(chan struct{})
+	return published
 }
 
 // since returns a copy of the events from index i on, whether the log is

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+
+	"procdecomp/internal/obs"
 )
 
 // asyncJob is the durable record behind one POST /jobs acceptance: identity,
@@ -14,17 +17,22 @@ import (
 // processes.
 type asyncJob struct {
 	id       string
+	rid      string // originating request ID, the log/trace join key
 	endpoint string
 	tenant   string
 	key      string
 	budget   int
 	req      Request
 	log      *eventLog
+	// spans records the job's wall-time service spans for GET
+	// /jobs/{id}/trace (nil for recovered jobs: their wall history is gone).
+	spans *obs.SpanRecorder
 
 	mu       sync.Mutex
 	terminal bool
 	result   []byte // nil for a recovered done job: the cache holds the bytes
 	jerr     *JobError
+	chrome   []byte // the machine's virtual-time Chrome trace, if evaluated here
 }
 
 // complete/fail settle the job exactly once; later calls are ignored (a
@@ -53,6 +61,25 @@ func (a *asyncJob) state() (terminal bool, result []byte, jerr *JobError) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.terminal, a.result, a.jerr
+}
+
+// setChrome stores the machine trace bytes a traced evaluation produced.
+// Called before complete/fail, so a terminal read observes it.
+func (a *asyncJob) setChrome(b []byte) {
+	if b == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.terminal {
+		a.chrome = b
+	}
+}
+
+func (a *asyncJob) chromeBytes() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.chrome
 }
 
 // JobSubmit is POST /jobs' body: which pipeline to run, and its request.
@@ -114,8 +141,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if body, ok := s.cache.Get(contentKey(sub.Endpoint, req, 0)); ok {
-		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), body); jerr != nil {
+	rid := obs.RequestID(r.Context())
+	if body, ok := s.cacheGet(contentKey(sub.Endpoint, req, 0)); ok {
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, body); jerr != nil {
 			s.writeError(w, jerr)
 		} else {
 			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done"})
@@ -123,14 +151,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, cached, jerr := s.submit(sub.Endpoint, req, tenantOf(r), true)
+	// Every async job records its wall-time spans, so GET /jobs/{id}/trace
+	// always has a service timeline. The machine's virtual-time trace is
+	// opt-in (?trace=1): it forces a live evaluation and holds the trace
+	// bytes for the job's lifetime, too heavy to pay on every submission.
+	j, cached, jerr := s.submit(sub.Endpoint, req, tenantOf(r),
+		submitOpts{rid: rid, async: true, trace: r.URL.Query().Get("trace") == "1",
+			spans: obs.NewSpanRecorder()})
 	if jerr != nil {
 		s.writeError(w, jerr)
 		return
 	}
 	if cached != nil {
 		// Degraded-key hit: the saturated answer is already on disk.
-		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), cached); jerr != nil {
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, cached); jerr != nil {
 			s.writeError(w, jerr)
 		} else {
 			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done", Degraded: s.cfg.DegradeKeep})
@@ -142,35 +176,42 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 // bornDone registers a job that is terminal on arrival (its result was
 // cached): journaled accepted+done so a restart re-serves it identically.
-func (s *Server) bornDone(endpoint string, req Request, tenant string, body []byte) (*asyncJob, *JobError) {
+func (s *Server) bornDone(endpoint string, req Request, tenant, rid string, body []byte) (*asyncJob, *JobError) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		s.m.sheds.Inc("draining")
 		return nil, &JobError{Kind: KindDraining, Message: "server is draining",
 			RetryAfter: s.adm.retryAfter(s.seq.Add(1))}
 	}
 	s.mu.Unlock()
 	key := contentKey(endpoint, req, 0)
-	aj := &asyncJob{id: jobID(s.seq.Add(1)), endpoint: endpoint, tenant: tenant,
+	aj := &asyncJob{id: jobID(s.seq.Add(1)), rid: rid, endpoint: endpoint, tenant: tenant,
 		key: key, req: req, log: newEventLog()}
-	if err := s.journal.Append(journalRec{Op: "accepted", ID: aj.id,
-		Endpoint: endpoint, Tenant: tenant, Key: key, Req: &req}); err != nil {
+	ctx := obs.WithRequestID(context.Background(), rid)
+	if err := s.journalAppend(ctx, "born_done", journalRec{Op: "accepted", ID: aj.id,
+		RID: rid, Endpoint: endpoint, Tenant: tenant, Key: key, Req: &req}); err != nil {
 		return nil, &JobError{Kind: KindInternal, Message: "job journal write failed: " + err.Error()}
 	}
-	s.journal.Append(journalRec{Op: "done", ID: aj.id, Key: key})
+	// Best-effort: without the done record a restart re-runs the job, which
+	// re-derives the same cached result.
+	s.journalAppend(ctx, "born_done", journalRec{Op: "done", ID: aj.id, Key: key})
 	aj.complete(body)
 	s.jobsMu.Lock()
 	s.jobs[aj.id] = aj
 	s.jobsMu.Unlock()
 	s.jobsAccepted.Add(1)
+	s.m.jobs.Inc("accepted")
 	s.jobsDone.Add(1)
-	aj.log.publish(Event{Job: aj.id, Type: "accepted"})
-	aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+	s.m.jobs.Inc("done")
+	s.publish(aj, Event{Type: "accepted"})
+	s.publish(aj, Event{Type: "done", Terminal: true})
 	return aj, nil
 }
 
 func (s *Server) writeAccepted(w http.ResponseWriter, acc JobAccepted) {
+	s.m.responses.Inc("202", "accepted")
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/jobs/"+acc.ID)
 	w.WriteHeader(http.StatusAccepted)
@@ -190,13 +231,23 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	terminal, result, jerr := aj.state()
 	if !terminal {
-		n, _ := aj.log.snapshot()
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusAccepted)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(JobPending{ID: aj.id, Status: "pending", Events: n})
-		return
+		// The event log seals (snapshot's second return) only after the
+		// job's state turns terminal, so re-check rather than racing a
+		// finalize that landed between the two reads: a sealed log with a
+		// pending reply would tell the client the stream ended on a job
+		// still "running".
+		n, sealed := aj.log.snapshot()
+		if sealed {
+			terminal, result, jerr = aj.state()
+		}
+		if !terminal {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(JobPending{ID: aj.id, Status: "pending", Events: n})
+			return
+		}
 	}
 	if jerr != nil {
 		s.writeError(w, jerr)
@@ -204,7 +255,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	if result == nil {
 		// Recovered done job: the journal has the key, the cache the bytes.
-		body, ok := s.cache.Get(aj.key)
+		body, ok := s.cacheGet(aj.key)
 		if !ok {
 			s.writeError(w, &JobError{Kind: KindInternal,
 				Message: "job result missing from cache"})
@@ -213,6 +264,40 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		result = body
 	}
 	s.writeResult(w, result, "job", aj.budget)
+}
+
+// handleJobTrace serves the job's stitched Chrome trace: its wall-time
+// service spans (queued, attempts, settle) plus, when the job was submitted
+// with ?trace=1, the machine's virtual-time trace — both tagged with the
+// originating request ID. 202 while the job still runs; 404 for recovered
+// jobs, whose wall-time history did not survive the restart.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	aj := s.lookupJob(r.PathValue("id"))
+	if aj == nil {
+		s.writeError(w, &JobError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	terminal, _, _ := aj.state()
+	if !terminal {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		n, _ := aj.log.snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(JobPending{ID: aj.id, Status: "pending", Events: n})
+		return
+	}
+	if aj.spans == nil {
+		s.writeError(w, &JobError{Kind: KindNotFound,
+			Message: "no trace recorded for this job (served from cache, or recovered from the journal)"})
+		return
+	}
+	doc, err := obs.StitchChrome(aj.rid, aj.spans.Epoch(), aj.spans.Spans(), aj.chromeBytes())
+	if err != nil {
+		s.writeError(w, &JobError{Kind: KindInternal, Message: "trace stitch failed: " + err.Error()})
+		return
+	}
+	s.writeResult(w, doc, "job", aj.budget)
 }
 
 // handleJobEvents streams the job's event log as NDJSON: full replay from

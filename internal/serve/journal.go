@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // The job journal is the durability half of the async-job contract: a
@@ -37,6 +38,7 @@ const (
 type journalRec struct {
 	Op       string   // "accepted", "running", "done", "failed"
 	ID       string   // job ID
+	RID      string   `json:",omitempty"` // accepted: originating request ID
 	Endpoint string   `json:",omitempty"` // accepted: target pipeline
 	Tenant   string   `json:",omitempty"` // accepted: fair-share account
 	Key      string   `json:",omitempty"` // accepted/done: content key
@@ -58,6 +60,12 @@ type journalAppend struct {
 // accepts do not serialize on per-record fsyncs.
 type journal struct {
 	path string
+	// compacted records whether open found anything to rewrite (a torn tail
+	// or droppable records) — surfaced as a metric by the server.
+	compacted bool
+	// onFsync, when set, observes each group-commit fsync's latency. Set
+	// before the first Append; never mutated after.
+	onFsync func(time.Duration)
 
 	mu     sync.Mutex
 	f      *os.File
@@ -110,7 +118,11 @@ func (j *journal) run() {
 		}
 		_, err := j.f.Write(buf.Bytes())
 		if err == nil {
+			t0 := time.Now()
 			err = j.f.Sync()
+			if j.onFsync != nil {
+				j.onFsync(time.Since(t0))
+			}
 		}
 		for _, b := range batch {
 			b.done <- err
@@ -157,6 +169,7 @@ func (j *journal) crash() {
 // recoveredJob is one job reconstructed from the journal on open.
 type recoveredJob struct {
 	id       string
+	rid      string // originating request ID, carried for log correlation
 	endpoint string
 	tenant   string
 	key      string
@@ -191,7 +204,7 @@ func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
 	// a kill mid-compaction leaves either the old journal or the new one.
 	var buf bytes.Buffer
 	for _, rj := range jobs {
-		acc := journalRec{Op: "accepted", ID: rj.id, Endpoint: rj.endpoint,
+		acc := journalRec{Op: "accepted", ID: rj.id, RID: rj.rid, Endpoint: rj.endpoint,
 			Tenant: rj.tenant, Key: rj.key, Budget: rj.budget, Req: &rj.req}
 		b, err := json.Marshal(acc)
 		if err != nil {
@@ -213,7 +226,8 @@ func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
 			buf.Write(append(b, '\n'))
 		}
 	}
-	if len(jobs) > 0 || len(valid) != buf.Len() || len(torn) > 0 {
+	compacted := len(jobs) > 0 || len(valid) != buf.Len() || len(torn) > 0
+	if compacted {
 		tmp, err := os.CreateTemp(dir, journalName+".*"+cacheTmpSuffix)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
@@ -238,7 +252,7 @@ func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("serve: open journal: %w", err)
 	}
-	j := &journal{path: path, f: f, writes: make(chan journalAppend, 1024)}
+	j := &journal{path: path, compacted: compacted, f: f, writes: make(chan journalAppend, 1024)}
 	j.wg.Add(1)
 	go j.run()
 	return j, jobs, maxSeq, nil
@@ -273,7 +287,7 @@ loop:
 			if rec.Req == nil {
 				break loop // a request-less accept is corrupt: torn tail
 			}
-			rj := &recoveredJob{id: rec.ID, endpoint: rec.Endpoint,
+			rj := &recoveredJob{id: rec.ID, rid: rec.RID, endpoint: rec.Endpoint,
 				tenant: rec.Tenant, key: rec.Key, budget: rec.Budget, req: *rec.Req}
 			if _, dup := byID[rec.ID]; !dup {
 				byID[rec.ID] = rj

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"procdecomp/internal/obs"
+)
+
+// drainAndVerify shuts the server down and runs the full reconciliation.
+func drainAndVerify(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.VerifyMetrics(); err != nil {
+		t.Errorf("metrics reconciliation: %v", err)
+	}
+}
+
+// scrapeURL fetches and strictly parses /metrics over the wire.
+func scrapeURL(t *testing.T, base string) *obs.Scrape {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	sc, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	return sc
+}
+
+// TestMetricsReconcileAfterMixedWorkload drives every kind of traffic the
+// catalog counts — cache misses and hits, a typed failure, an async job, a
+// panic retry — then requires the wire scrape to reconcile exactly with the
+// server's ground-truth Stats.
+func TestMetricsReconcileAfterMixedWorkload(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, PanicEvery: 3, CacheDir: t.TempDir()})
+
+	post(t, hs.URL+"/run", gsRun)         // miss -> evaluate -> write
+	post(t, hs.URL+"/run", gsRun)         // hit
+	post(t, hs.URL+"/compile", gsRun)     // miss
+	post(t, hs.URL+"/run", `{"bad json`)  // 400 invalid
+	post(t, hs.URL+"/run", `{"GS":true,"Source":"x"}`) // 400 invalid
+
+	// One typed program failure (422).
+	resp, _ := post(t, hs.URL+"/run", `{"Source":"procedure p() { q(); }","Entry":"p"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad program resolved %d, want 422", resp.StatusCode)
+	}
+
+	// One async job through the full lifecycle.
+	resp, body := post(t, hs.URL+"/jobs", `{"Endpoint":"/compile","Request":{"GS":true,"Procs":2,"Mode":"opt1","Defines":{"N":8}}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit resolved %d: %s", resp.StatusCode, body)
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "async job to settle", func() bool {
+		terminal, _, _ := s.lookupJob(acc.ID).state()
+		return terminal
+	})
+
+	sc := scrapeURL(t, hs.URL)
+	if v := sc.Sum("pdserve_cache_ops_total", map[string]string{"op": "hit"}); v < 1 {
+		t.Errorf("scrape shows %v cache hits, want >= 1", v)
+	}
+	if v := sc.Sum("pdserve_responses_total", map[string]string{"code": "400"}); v != 2 {
+		t.Errorf("scrape shows %v 400s, want 2", v)
+	}
+	if v := sc.Sum("pdserve_responses_total", map[string]string{"code": "422", "cause": "program"}); v != 1 {
+		t.Errorf("scrape shows %v program failures, want 1", v)
+	}
+	if v := sc.Sum("pdserve_jobs_total", map[string]string{"state": "accepted"}); v != 1 {
+		t.Errorf("scrape shows %v accepted jobs, want 1", v)
+	}
+
+	drainAndVerify(t, s)
+}
+
+// TestVerifyScrapeDetectsDrift is the negative control: a counter nudged off
+// its ground truth must fail reconciliation, else the identities prove
+// nothing.
+func TestVerifyScrapeDetectsDrift(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	post(t, hs.URL+"/run", gsRun)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyMetrics(); err != nil {
+		t.Fatalf("clean run must reconcile: %v", err)
+	}
+	s.m.admitted.Inc() // simulated drift: a path that bumped one ledger only
+	err := s.VerifyMetrics()
+	if err == nil {
+		t.Fatal("drifted counter passed reconciliation")
+	}
+	if !strings.Contains(err.Error(), "pdserve_admitted_total") {
+		t.Errorf("drift error does not name the counter: %v", err)
+	}
+}
+
+// TestNoEventAfterTerminal pins the stream protocol: a publish after the
+// terminal event must not reach the stream, must be counted, and must fail
+// reconciliation — the regression the publish helper exists to catch.
+func TestNoEventAfterTerminal(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	resp, body := post(t, hs.URL+"/jobs", `{"Endpoint":"/run","Request":{"GS":true,"Procs":2,"Mode":"ctr","Defines":{"N":8}}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit resolved %d: %s", resp.StatusCode, body)
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	aj := s.lookupJob(acc.ID)
+	waitFor(t, "job to settle", func() bool { terminal, _, _ := aj.state(); return terminal })
+
+	before, sealed := aj.log.snapshot()
+	if !sealed {
+		t.Fatal("terminal job's event log is not sealed")
+	}
+	s.publish(aj, Event{Type: "heartbeat", Clock: 99}) // protocol violation
+	after, _ := aj.log.snapshot()
+	if after != before {
+		t.Fatalf("event published after terminal grew the stream %d -> %d", before, after)
+	}
+	if v := s.m.events.Value("dropped_after_terminal"); v != 1 {
+		t.Fatalf("dropped_after_terminal = %v, want 1", v)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := s.VerifyMetrics()
+	if err == nil || !strings.Contains(err.Error(), "after their stream's terminal event") {
+		t.Errorf("reconciliation did not flag the after-terminal publish: %v", err)
+	}
+}
+
+// TestRequestIDPropagation follows one ID from the ingress header through
+// the response header, the job's event stream (with wall-clock stamps), the
+// journal record, and the /logz retrieval.
+func TestRequestIDPropagation(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	const rid = "r-test-propagation"
+
+	req, err := http.NewRequest("POST", hs.URL+"/jobs",
+		strings.NewReader(`{"Endpoint":"/run","Request":{"GS":true,"Procs":2,"Mode":"ctr","Defines":{"N":8}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc JobAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != rid {
+		t.Errorf("response echoes request ID %q, want %q", got, rid)
+	}
+
+	aj := s.lookupJob(acc.ID)
+	waitFor(t, "job to settle", func() bool { terminal, _, _ := aj.state(); return terminal })
+	evs, _, _ := aj.log.since(0)
+	if len(evs) == 0 {
+		t.Fatal("no events on the job stream")
+	}
+	wallLo := time.Now().Add(-time.Minute).UnixMilli()
+	for _, ev := range evs {
+		if ev.Req != rid {
+			t.Errorf("event %d (%s) carries request ID %q, want %q", ev.Seq, ev.Type, ev.Req, rid)
+		}
+		if ev.WallMS < wallLo {
+			t.Errorf("event %d (%s) wall time %d is implausible", ev.Seq, ev.Type, ev.WallMS)
+		}
+	}
+
+	// The journal's accepted record carries the ID, so a restarted server
+	// keeps the correlation.
+	jobs, _, _, _, err := parseJournal(s.journal.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rj := range jobs {
+		if rj.id == acc.ID {
+			found = true
+			if rj.rid != rid {
+				t.Errorf("journal records request ID %q, want %q", rj.rid, rid)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not in the journal", acc.ID)
+	}
+
+	lresp, err := http.Get(hs.URL + "/logz?req=" + rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var lines []obs.Line
+	if err := json.NewDecoder(lresp.Body).Decode(&lines); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("/logz returned no lines for the request ID")
+	}
+	for _, ln := range lines {
+		if ln.Req != rid {
+			t.Errorf("/logz line %q tagged %q, want %q", ln.Text, ln.Req, rid)
+		}
+	}
+}
+
+// TestJobTraceStitchesBothClockDomains submits a traced job and requires
+// /jobs/{id}/trace to return one Chrome document holding wall-time service
+// spans and virtual-time machine events, both tagged with the request ID.
+func TestJobTraceStitchesBothClockDomains(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	const rid = "r-test-trace"
+
+	req, err := http.NewRequest("POST", hs.URL+"/jobs?trace=1",
+		strings.NewReader(`{"Endpoint":"/run","Request":{"GS":true,"Procs":2,"Mode":"ctr","Defines":{"N":8}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc JobAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	aj := s.lookupJob(acc.ID)
+	waitFor(t, "traced job to settle", func() bool { terminal, _, _ := aj.state(); return terminal })
+
+	tresp, err := http.Get(hs.URL + "/jobs/" + acc.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", tresp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		PDObs struct {
+			RequestID     string
+			WallSpans     int
+			MachineEvents int
+		} `json:"pdobs"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("stitched trace does not parse: %v", err)
+	}
+	if doc.PDObs.RequestID != rid {
+		t.Errorf("trace names request %q, want %q", doc.PDObs.RequestID, rid)
+	}
+	if doc.PDObs.WallSpans < 2 || doc.PDObs.MachineEvents == 0 {
+		t.Errorf("trace has %d wall spans and %d machine events, want >=2 and >0",
+			doc.PDObs.WallSpans, doc.PDObs.MachineEvents)
+	}
+	wallLinked, machine := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Pid == 1<<21 {
+			if ev.Args["request_id"] == rid {
+				wallLinked++
+			}
+		} else {
+			machine++
+		}
+	}
+	if wallLinked != doc.PDObs.WallSpans {
+		t.Errorf("%d of %d wall spans carry the request ID", wallLinked, doc.PDObs.WallSpans)
+	}
+	if machine == 0 {
+		t.Error("no machine events on the non-service tracks")
+	}
+}
+
+// TestSyncTraceQuery pins the synchronous flavor: POST /run?trace=1 answers
+// with the stitched trace document instead of the result body, and the
+// result still lands in the cache for the next untraced request.
+func TestSyncTraceQuery(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	resp, body := post(t, hs.URL+"/run?trace=1", gsRun)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced run resolved %d: %.200s", resp.StatusCode, body)
+	}
+	var doc struct {
+		PDObs struct{ MachineEvents int } `json:"pdobs"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("traced response is not a stitched trace: %v", err)
+	}
+	if doc.PDObs.MachineEvents == 0 {
+		t.Error("traced run stitched no machine events")
+	}
+	resp, _ = post(t, hs.URL+"/run", gsRun)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("untraced repeat after traced run: X-Cache %q, want hit (the traced evaluation must still populate the cache)", got)
+	}
+	drainAndVerify(t, s)
+}
+
+// TestCauseLabelsStayInContract pins every ErrKind's derived cause label to
+// the allowedCauses contract VerifyScrape enforces.
+func TestCauseLabelsStayInContract(t *testing.T) {
+	kinds := []ErrKind{KindInvalid, KindShed, KindDraining, KindDeadline,
+		KindCanceled, KindFailed, KindPanic, KindInternal, KindNotFound}
+	for _, k := range kinds {
+		e := &JobError{Kind: k}
+		code := fmt.Sprintf("%d", e.HTTPStatus())
+		if !allowedCauses[code][e.causeLabel()] {
+			t.Errorf("kind %s derives cause %q, not allowed for code %s", k, e.causeLabel(), code)
+		}
+	}
+	for _, explicit := range []struct{ kind ErrKind; cause string }{
+		{KindShed, "fair_share"}, {KindDeadline, "doomed"},
+	} {
+		e := &JobError{Kind: explicit.kind, cause: explicit.cause}
+		code := fmt.Sprintf("%d", e.HTTPStatus())
+		if !allowedCauses[code][e.causeLabel()] {
+			t.Errorf("explicit cause %q not allowed for code %s", explicit.cause, code)
+		}
+	}
+}
+
+// TestMetricsExpositionIsDeterministic pins the exposition format: two
+// writes of the same registry are byte-identical, and a fresh server
+// pre-touches its fixed label spaces so equal workloads expose equal
+// sample sets.
+func TestMetricsExpositionIsDeterministic(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var a, b bytes.Buffer
+	if err := s.WriteMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two writes of an idle registry differ")
+	}
+	sc, err := obs.ParsePrometheus(&a)
+	if err != nil {
+		t.Fatalf("fresh exposition does not parse: %v", err)
+	}
+	for _, fam := range []string{
+		"pdserve_admitted_total", "pdserve_sheds_total", "pdserve_jobs_total",
+		"pdserve_events_total", "pdserve_cache_ops_total", "pdserve_journal_appends_total",
+		"pdserve_queue_depth", "pdserve_workers_busy",
+	} {
+		if len(sc.Series(fam)) == 0 {
+			t.Errorf("fresh server does not expose %s", fam)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"procdecomp/internal/machine"
+	"procdecomp/internal/obs"
 )
 
 // Config tunes the server. The zero value takes the defaults below.
@@ -64,6 +66,12 @@ type Config struct {
 	// attempt (0 = off). It exists so the smoke test and the soak can drive
 	// the panic-isolation path deterministically.
 	PanicEvery int
+	// LogHandler, when set, receives every structured log record in addition
+	// to the in-memory ring behind /logz (nil = ring only, no external
+	// output — the right default for tests).
+	LogHandler slog.Handler
+	// LogLines caps the in-memory structured-log ring (default 4096).
+	LogLines int
 	// gate, when non-nil, is called by a worker after dequeuing a job and
 	// before evaluating it — a test seam: the soak holds workers here to
 	// fill the queue deterministically. Set before New; never mutated after.
@@ -109,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.AdmitSeed == 0 {
 		c.AdmitSeed = 1
 	}
+	if c.LogLines <= 0 {
+		c.LogLines = 4096
+	}
 	return c
 }
 
@@ -136,6 +147,38 @@ type JobError struct {
 	// RetryAfter, when positive, is the derived Retry-After in seconds
 	// (shed and draining replies).
 	RetryAfter int `json:",omitempty"`
+	// cause, when set, overrides the metric cause label derived from Kind —
+	// the admission controller distinguishes fair-share from queue-full
+	// sheds and doomed from ran-out deadlines this way.
+	cause string
+}
+
+// causeLabel is the error's cause label on pdserve_responses_total; the
+// explicit override wins, otherwise the kind implies it.
+func (e *JobError) causeLabel() string {
+	if e.cause != "" {
+		return e.cause
+	}
+	switch e.Kind {
+	case KindInvalid:
+		return "invalid"
+	case KindShed:
+		return "queue_full"
+	case KindDraining:
+		return "draining"
+	case KindDeadline:
+		return "deadline"
+	case KindCanceled:
+		return "shutdown"
+	case KindFailed:
+		return "program"
+	case KindPanic:
+		return "panic"
+	case KindNotFound:
+		return "notfound"
+	default:
+		return "internal"
+	}
 }
 
 func (e *JobError) Error() string {
@@ -184,17 +227,18 @@ type job struct {
 	done       chan struct{} // closed exactly once, when result/jerr are set
 	result     []byte
 	jerr       *JobError
+	// rid is the originating request's ID, stamped on every event and log
+	// line the job produces.
+	rid string
+	// spans, when non-nil, records the job's wall-time service spans for
+	// trace stitching; wantTrace additionally captures the machine's
+	// virtual-time Chrome trace into chrome during evaluation.
+	spans     *obs.SpanRecorder
+	wantTrace bool
+	chrome    []byte
 	// panicked marks that the chaos knob already fired for this job, so a
 	// retried attempt succeeds instead of panicking forever.
 	panicked bool
-}
-
-// emit publishes a progress event on the job's stream, if it has one.
-func (j *job) emit(ev Event) {
-	if j.async != nil {
-		ev.Job = j.async.id
-		j.async.log.publish(ev)
-	}
 }
 
 // JobStats counts the async-job lifecycle.
@@ -239,6 +283,18 @@ type Server struct {
 	adm     *admission
 	journal *journal
 
+	// The observability plane: the metric catalog, the structured-log ring
+	// behind /logz, and the logger every component writes through.
+	m    *serverMetrics
+	ring *obs.Ring
+	log  *slog.Logger
+
+	// ridSalt/ridSeq mint request IDs unique across restarts of one process
+	// lineage (the salt is the start time).
+	ridSalt     uint64
+	ridSeq      atomic.Uint64
+	busyWorkers atomic.Int64
+
 	baseCtx context.Context
 	abort   context.CancelFunc
 
@@ -281,6 +337,10 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, adm: newAdmission(cfg), jobs: map[string]*asyncJob{}}
+	s.m = newServerMetrics()
+	s.ring = obs.NewRing(cfg.LogLines, cfg.LogHandler)
+	s.log = slog.New(s.ring)
+	s.ridSalt = uint64(time.Now().UnixNano())
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
 	var recovered []*recoveredJob
 	if cfg.CacheDir != "" {
@@ -288,10 +348,18 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Observers attach before any traffic: the cache sees its first Get
+		// during recovery below, the journal its first Append (and fsync)
+		// once a handler runs, both after New returns.
+		c.onOp = func(op string) { s.m.cacheOps.Inc(op) }
 		s.cache = c
 		j, jobs, maxSeq, err := openJournal(cfg.CacheDir)
 		if err != nil {
 			return nil, err
+		}
+		j.onFsync = func(d time.Duration) { s.m.journalFsync.Observe(d.Seconds()) }
+		if j.compacted {
+			s.m.journalCompactions.Inc()
 		}
 		s.journal = j
 		s.seq.Store(maxSeq)
@@ -317,33 +385,36 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) recover(jobs []*recoveredJob) {
 	for _, rj := range jobs {
 		s.jobsRecovered.Add(1)
-		aj := &asyncJob{id: rj.id, endpoint: rj.endpoint, tenant: rj.tenant,
+		s.m.jobs.Inc("recovered")
+		aj := &asyncJob{id: rj.id, rid: rj.rid, endpoint: rj.endpoint, tenant: rj.tenant,
 			key: rj.key, budget: rj.budget, req: rj.req, log: newEventLog()}
-		aj.log.publish(Event{Job: aj.id, Type: "accepted"})
+		s.publish(aj, Event{Type: "accepted"})
 		s.jobs[aj.id] = aj
 		switch {
 		case rj.done:
-			if _, ok := s.cache.Get(rj.key); ok {
+			if _, ok := s.cacheGet(rj.key); ok {
 				aj.complete(nil) // the result lives in the cache
-				aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+				s.publish(aj, Event{Type: "done", Terminal: true})
 				continue
 			}
 			// The journal says done but the result is gone (torn entry
 			// quarantined, cache wiped): re-run rather than serve nothing.
 		case rj.jerr != nil:
 			aj.fail(rj.jerr)
-			aj.log.publish(Event{Job: aj.id, Type: terminalType(rj.jerr), Terminal: true,
+			s.publish(aj, Event{Type: terminalType(rj.jerr), Terminal: true,
 				Kind: rj.jerr.Kind, Message: rj.jerr.Message, Attempts: rj.jerr.Attempts})
 			continue
 		}
 		s.jobsRequeued.Add(1)
+		s.m.jobs.Inc("requeued")
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultDeadline)
 		j := &job{
 			seq: s.seq.Add(1), endpoint: rj.endpoint, req: rj.req, key: rj.key,
-			tenant: rj.tenant, budget: rj.budget, async: aj, recovered: true,
-			enqueuedAt: time.Now(), ctx: ctx, cancel: cancel, done: make(chan struct{}),
+			tenant: rj.tenant, budget: rj.budget, async: aj, recovered: true, rid: rj.rid,
+			enqueuedAt: time.Now(), ctx: obs.WithRequestID(ctx, rj.rid), cancel: cancel,
+			done: make(chan struct{}),
 		}
-		aj.log.publish(Event{Job: aj.id, Type: "requeued"})
+		s.publish(aj, Event{Type: "requeued"})
 		s.admissions.Add(1)
 		s.queue <- j
 	}
@@ -380,23 +451,35 @@ func (s *Server) deadlineFor(req Request) time.Duration {
 	return deadline
 }
 
+// submitOpts carries the per-submission observability context: the request
+// ID minted at ingress, whether to create the durable job record, and
+// whether the caller wants a stitched trace (which forces evaluation — a
+// cached answer has no machine timeline to stitch).
+type submitOpts struct {
+	rid   string
+	async bool
+	trace bool
+	spans *obs.SpanRecorder
+}
+
 // submit admits one request through the adaptive controller: it refuses
 // while draining; sheds on a full queue, on a tenant over its fair share
 // under contention, or when the request's deadline is already doomed by the
 // measured queue wait; under sustained saturation it admits /search with a
-// degraded candidate budget instead of shedding. wantAsync additionally
+// degraded candidate budget instead of shedding. opts.async additionally
 // creates the durable job record (journaled before the queue, so an
 // acknowledged job survives a crash).
 //
 // Exactly one of the three returns is non-nil: a queued job, a cached body
 // (a degraded-key cache hit needing no pool time), or the typed refusal.
-func (s *Server) submit(endpoint string, req Request, tenant string, wantAsync bool) (*job, []byte, *JobError) {
+func (s *Server) submit(endpoint string, req Request, tenant string, opts submitOpts) (*job, []byte, *JobError) {
 	deadline := s.deadlineFor(req)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		s.m.sheds.Inc("draining")
 		return nil, nil, &JobError{Kind: KindDraining, Message: "server is draining",
 			RetryAfter: s.adm.retryAfter(s.seq.Add(1))}
 	}
@@ -410,38 +493,50 @@ func (s *Server) submit(endpoint string, req Request, tenant string, wantAsync b
 		switch {
 		case dec.shed.Kind == KindDeadline:
 			s.doomed.Add(1)
+			s.m.sheds.Inc("doomed")
 		case dec.reason == "fair":
 			s.fairShed.Add(1)
 			s.shed.Add(1)
+			s.m.sheds.Inc("fair_share")
+			s.m.fairSheds.Inc(tenant)
 		default:
 			s.shed.Add(1)
+			s.m.sheds.Inc("queue_full")
 		}
+		s.log.LogAttrs(obs.WithRequestID(context.Background(), opts.rid), slog.LevelWarn,
+			"shed", slog.String("reason", dec.shed.causeLabel()), slog.String("tenant", tenant))
 		return nil, nil, dec.shed
 	}
 
 	key := contentKey(endpoint, req, dec.budget)
 	if dec.budget > 0 {
 		// A saturated server may already hold the degraded answer; serving
-		// it costs no pool time, so give the slot back.
-		if body, ok := s.cache.Get(key); ok {
-			s.adm.release(tenant)
-			s.admissions.Done()
-			return nil, body, nil
+		// it costs no pool time, so give the slot back. A traced request
+		// skips the shortcut: the trace needs a live evaluation.
+		if !opts.trace {
+			if body, ok := s.cacheGet(key); ok {
+				s.adm.release(tenant)
+				s.admissions.Done()
+				return nil, body, nil
+			}
 		}
 		s.degraded.Add(1)
+		s.m.degraded.Inc()
 	}
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
 	j := &job{
 		seq: seq, endpoint: endpoint, req: req, key: key, tenant: tenant,
-		budget: dec.budget, enqueuedAt: time.Now(),
-		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		budget: dec.budget, enqueuedAt: time.Now(), rid: opts.rid, spans: opts.spans,
+		wantTrace: opts.trace,
+		ctx:       obs.WithRequestID(ctx, opts.rid), cancel: cancel, done: make(chan struct{}),
 	}
-	if wantAsync {
-		aj := &asyncJob{id: jobID(seq), endpoint: endpoint, tenant: tenant,
-			key: key, budget: dec.budget, req: req, log: newEventLog()}
-		if err := s.journal.Append(journalRec{Op: "accepted", ID: aj.id,
-			Endpoint: endpoint, Tenant: tenant, Key: key, Budget: dec.budget, Req: &req}); err != nil {
+	if opts.async {
+		aj := &asyncJob{id: jobID(seq), rid: opts.rid, endpoint: endpoint, tenant: tenant,
+			key: key, budget: dec.budget, req: req, spans: opts.spans, log: newEventLog()}
+		if err := s.journalAppend(j.ctx, "accept", journalRec{Op: "accepted", ID: aj.id,
+			RID: opts.rid, Endpoint: endpoint, Tenant: tenant, Key: key,
+			Budget: dec.budget, Req: &req}); err != nil {
 			cancel()
 			s.adm.release(tenant)
 			s.admissions.Done()
@@ -452,14 +547,16 @@ func (s *Server) submit(endpoint string, req Request, tenant string, wantAsync b
 		s.jobs[aj.id] = aj
 		s.jobsMu.Unlock()
 		s.jobsAccepted.Add(1)
+		s.m.jobs.Inc("accepted")
 		j.async = aj
-		aj.log.publish(Event{Job: aj.id, Type: "accepted"})
+		s.publish(aj, Event{Type: "accepted"})
 	}
-	j.emit(Event{Type: "queued", QueuePos: dec.pos})
+	s.jemit(j, Event{Type: "queued", QueuePos: dec.pos})
 	if dec.budget > 0 {
-		j.emit(Event{Type: "degraded", Budget: dec.budget})
+		s.jemit(j, Event{Type: "degraded", Budget: dec.budget})
 	}
 	s.accepted.Add(1)
+	s.m.admitted.Inc()
 	// The reservation guarantees a slot: at most QueueDepth reservations are
 	// outstanding and the channel holds QueueDepth beyond the recovery jobs.
 	s.queue <- j
@@ -469,13 +566,24 @@ func (s *Server) submit(endpoint string, req Request, tenant string, wantAsync b
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		now := time.Now()
 		if !j.recovered {
-			s.adm.dequeued(j.tenant, time.Since(j.enqueuedAt), time.Now())
+			waited := now.Sub(j.enqueuedAt)
+			s.adm.dequeued(j.tenant, waited, now)
+			s.m.queueWait.Observe(waited.Seconds())
+		}
+		if j.spans != nil {
+			j.spans.Add("queued", "service", j.enqueuedAt, now, nil)
 		}
 		if j.async != nil {
-			s.journal.Append(journalRec{Op: "running", ID: j.async.id})
+			// A failed running marker costs nothing durable — the journal's
+			// recovery re-runs unfinished jobs with or without it.
+			s.journalAppend(j.ctx, "running", journalRec{Op: "running", ID: j.async.id})
 		}
+		s.busyWorkers.Add(1)
 		s.runJob(j)
+		s.busyWorkers.Add(-1)
+		s.m.busySeconds.Add(time.Since(now).Seconds())
 		j.cancel()
 		s.admissions.Done()
 	}
@@ -499,17 +607,23 @@ func (s *Server) finalize(j *job) {
 		return
 	}
 	if j.jerr == nil {
-		s.journal.Append(journalRec{Op: "done", ID: aj.id, Key: j.key})
+		// A dropped terminal record is re-resolved on restart by re-running
+		// the job; logging it beats silently losing the signal.
+		s.journalAppend(j.ctx, "finalize", journalRec{Op: "done", ID: aj.id, Key: j.key})
+		aj.setChrome(j.chrome)
 		aj.complete(j.result)
 		s.jobsDone.Add(1)
-		aj.log.publish(Event{Job: aj.id, Type: "done", Terminal: true})
+		s.m.jobs.Inc("done")
+		s.publish(aj, Event{Type: "done", Terminal: true})
 		return
 	}
-	s.journal.Append(journalRec{Op: "failed", ID: aj.id, Kind: j.jerr.Kind,
+	s.journalAppend(j.ctx, "finalize", journalRec{Op: "failed", ID: aj.id, Kind: j.jerr.Kind,
 		Message: j.jerr.Message, Attempts: j.jerr.Attempts})
+	aj.setChrome(j.chrome)
 	aj.fail(j.jerr)
 	s.jobsFailed.Add(1)
-	aj.log.publish(Event{Job: aj.id, Type: terminalType(j.jerr), Terminal: true,
+	s.m.jobs.Inc("failed")
+	s.publish(aj, Event{Type: terminalType(j.jerr), Terminal: true,
 		Kind: j.jerr.Kind, Message: j.jerr.Message, Attempts: j.jerr.Attempts})
 }
 
@@ -529,13 +643,24 @@ func (s *Server) runJob(j *job) {
 			j.jerr = s.ctxError(err)
 			j.jerr.Attempts = attempt - 1
 			s.failed.Add(1)
+			s.m.failed.Inc()
 			return
 		}
-		j.emit(Event{Type: "running", Attempt: attempt})
+		s.jemit(j, Event{Type: "running", Attempt: attempt})
+		t0 := time.Now()
 		out, err := s.attempt(j)
+		if j.spans != nil {
+			name := fmt.Sprintf("attempt %d", attempt)
+			args := map[string]string{"endpoint": j.endpoint}
+			if err != nil {
+				args["error"] = err.Error()
+			}
+			j.spans.Add(name, "service", t0, time.Now(), args)
+		}
 		if err == nil {
 			j.result = out
 			s.completed.Add(1)
+			s.m.completed.Inc()
 			if s.cache != nil {
 				s.cache.Put(j.key, out)
 			}
@@ -544,18 +669,24 @@ func (s *Server) runJob(j *job) {
 		var pe *panicError
 		if errors.As(err, &pe) {
 			s.panics.Add(1)
+			s.m.panics.Inc()
+			s.log.LogAttrs(j.ctx, slog.LevelError, "panic isolated",
+				slog.String("job", fmt.Sprintf("%d", j.seq)), slog.Int("attempt", attempt))
 			if attempt <= s.cfg.Retries {
 				s.retries.Add(1)
+				s.m.retries.Inc()
 				s.backoff(j.ctx, attempt)
 				continue
 			}
 			j.jerr = &JobError{Kind: KindPanic, Message: pe.Error(), Attempts: attempt}
 			s.failed.Add(1)
+			s.m.failed.Inc()
 			return
 		}
 		j.jerr = s.classify(j, err)
 		j.jerr.Attempts = attempt
 		s.failed.Add(1)
+		s.m.failed.Inc()
 		return
 	}
 }
@@ -573,8 +704,15 @@ func (s *Server) attempt(j *job) (out []byte, err error) {
 		panic(fmt.Sprintf("chaos: injected panic on job %d", j.seq))
 	}
 	var hooks *evalHooks
-	if j.async != nil || j.budget > 0 {
-		hooks = &evalHooks{budget: j.budget, emit: j.emit}
+	if j.async != nil || j.budget > 0 || j.wantTrace {
+		hooks = &evalHooks{budget: j.budget}
+		if j.async != nil {
+			hooks.emit = func(ev Event) { s.jemit(j, ev) }
+		}
+		if j.wantTrace {
+			hooks.wantTrace = true
+			hooks.chrome = func(b []byte) { j.chrome = b }
+		}
 	}
 	return evaluate(j.ctx, j.endpoint, j.req, hooks)
 }
@@ -685,20 +823,25 @@ func (s *Server) crash() {
 	s.abort()
 }
 
-// Handler routes the service's endpoints.
+// Handler routes the service's endpoints, every one wrapped in the
+// instrument middleware (request IDs, structured log lines, edge metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, ep := range endpoints {
 		ep := ep
-		mux.HandleFunc("POST "+ep, func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, ep) })
+		mux.HandleFunc("POST "+ep, s.instrument(ep,
+			func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, ep) }))
 	}
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /jobs", s.instrument("/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /jobs/{id}/events", s.instrument("/jobs/{id}/events", s.handleJobEvents))
+	mux.HandleFunc("GET /jobs/{id}/trace", s.instrument("/jobs/{id}/trace", s.handleJobTrace))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /logz", s.instrument("/logz", s.handleLogz))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
@@ -710,13 +853,13 @@ func (s *Server) Handler() http.Handler {
 		default:
 			fmt.Fprintln(w, "ready")
 		}
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Stats())
-	})
+	}))
 	return mux
 }
 
@@ -741,15 +884,28 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 		return
 	}
 
+	// ?trace=1 asks for the stitched wall+virtual-time Chrome trace of this
+	// evaluation instead of its result body. Tracing forces a live
+	// evaluation — a cache hit has no timeline — so the fast paths below
+	// are skipped (the result still lands in the cache as usual).
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	rid := obs.RequestID(r.Context())
+	var spans *obs.SpanRecorder
+	if wantTrace {
+		spans = obs.NewSpanRecorder()
+	}
+
 	// Cache hits bypass admission entirely: they cost no pool time, so a
 	// saturated queue must not shed them. Full-fidelity entries are checked
 	// first — a hit beats a degraded recompute.
-	if body, ok := s.cache.Get(contentKey(endpoint, req, 0)); ok {
-		s.writeResult(w, body, "hit", 0)
-		return
+	if !wantTrace {
+		if body, ok := s.cacheGet(contentKey(endpoint, req, 0)); ok {
+			s.writeResult(w, body, "hit", 0)
+			return
+		}
 	}
 
-	j, cached, jerr := s.submit(endpoint, req, tenantOf(r), false)
+	j, cached, jerr := s.submit(endpoint, req, tenantOf(r), submitOpts{rid: rid, trace: wantTrace, spans: spans})
 	if jerr != nil {
 		s.writeError(w, jerr)
 		return
@@ -769,10 +925,20 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 		s.writeError(w, j.jerr)
 		return
 	}
+	if wantTrace {
+		doc, err := obs.StitchChrome(rid, spans.Epoch(), spans.Spans(), j.chrome)
+		if err != nil {
+			s.writeError(w, &JobError{Kind: KindInternal, Message: "trace stitch failed: " + err.Error()})
+			return
+		}
+		s.writeResult(w, doc, "miss", j.budget)
+		return
+	}
 	s.writeResult(w, j.result, "miss", j.budget)
 }
 
 func (s *Server) writeResult(w http.ResponseWriter, body []byte, cache string, budget int) {
+	s.m.responses.Inc("200", "ok")
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cache)
 	if budget > 0 {
@@ -783,6 +949,7 @@ func (s *Server) writeResult(w http.ResponseWriter, body []byte, cache string, b
 }
 
 func (s *Server) writeError(w http.ResponseWriter, jerr *JobError) {
+	s.m.responses.Inc(strconv.Itoa(jerr.HTTPStatus()), jerr.causeLabel())
 	w.Header().Set("Content-Type", "application/json")
 	switch {
 	case jerr.RetryAfter > 0:

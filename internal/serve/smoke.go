@@ -10,8 +10,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"procdecomp/internal/obs"
 )
 
 // SmokeConfig drives one smoke run: a live server on a loopback listener,
@@ -40,6 +43,15 @@ type SmokeReport struct {
 	CacheHits     int64
 	CacheHitRate  float64
 	Shed          int64
+	// The observability round-trip: every counter sample scraped from
+	// /metrics over the wire (verified against ground truth before the
+	// report is written), the number of metric families exposed, the
+	// structured log lines retained, and the stitched trace's span counts.
+	Metrics            map[string]float64 `json:",omitempty"`
+	MetricsFamilies    int
+	LogLines           int
+	TraceWallSpans     int
+	TraceMachineEvents int
 }
 
 // smokeBodies is the request mix: distinct programs for misses, repeats for
@@ -129,17 +141,41 @@ func Smoke(cfg SmokeConfig) (*SmokeReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	hs.Close()
+	// Observability round-trip, still over real HTTP: a traced request must
+	// come back as a stitched two-clock-domain Chrome trace, and its request
+	// ID must retrieve the structured log lines it produced.
+	traceSpans, traceMachine, logLines, err := smokeTraceRoundTrip(base)
+	if err != nil {
+		s.Close()
+		hs.Close()
+		return nil, err
+	}
+
+	// Drain the server first (the identities need every job settled), then
+	// scrape /metrics over the wire while the listener is still up.
 	if err := s.Shutdown(context.Background()); err != nil {
+		hs.Close()
+		return nil, err
+	}
+	scrape, err := smokeScrape(base)
+	hs.Close()
+	if err != nil {
 		return nil, err
 	}
 	st := s.Stats()
+	if err := VerifyScrape(scrape, st); err != nil {
+		return nil, err
+	}
 
 	rep := &SmokeReport{
 		Requests: cfg.Requests, Concurrency: cfg.Concurrency,
 		Panics: st.Panics, Retries: st.Retries,
 		CacheHits: st.Cache.Hits, Shed: st.Shed,
-		ThroughputRPS: float64(cfg.Requests) / elapsed.Seconds(),
+		ThroughputRPS:   float64(cfg.Requests) / elapsed.Seconds(),
+		Metrics:         counterSamples(scrape),
+		MetricsFamilies: len(scrape.Types),
+		LogLines:        logLines,
+		TraceWallSpans:  traceSpans, TraceMachineEvents: traceMachine,
 	}
 	for _, e := range errs {
 		if e == "" {
@@ -163,6 +199,90 @@ func Smoke(cfg SmokeConfig) (*SmokeReport, error) {
 		return rep, fmt.Errorf("smoke: the chaos knob injected no panics — the isolation path went unexercised")
 	}
 	return rep, nil
+}
+
+// smokeTraceRoundTrip drives the correlation contract end to end: one traced
+// request under a known request ID must return a stitched Chrome trace whose
+// summary carries that ID, wall spans, and machine events, and the same ID
+// must retrieve the request's structured log lines from /logz.
+func smokeTraceRoundTrip(base string) (wallSpans, machineEvents, logLines int, err error) {
+	const rid = "r-smoke-trace"
+	body := `{"GS":true,"Procs":4,"Mode":"opt3","Blk":8,"Defines":{"N":16}}`
+	req, err := http.NewRequest("POST", base+"/run?trace=1", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("smoke: traced request: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("smoke: traced request: status %d: %.200s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != rid {
+		return 0, 0, 0, fmt.Errorf("smoke: request ID not echoed: got %q, want %q", got, rid)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		PDObs       struct {
+			RequestID     string
+			WallSpans     int
+			MachineEvents int
+		} `json:"pdobs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, 0, 0, fmt.Errorf("smoke: stitched trace does not parse: %w", err)
+	}
+	switch {
+	case doc.PDObs.RequestID != rid:
+		return 0, 0, 0, fmt.Errorf("smoke: trace names request %q, want %q", doc.PDObs.RequestID, rid)
+	case doc.PDObs.WallSpans == 0:
+		return 0, 0, 0, fmt.Errorf("smoke: stitched trace has no wall-time service spans")
+	case doc.PDObs.MachineEvents == 0:
+		return 0, 0, 0, fmt.Errorf("smoke: stitched trace has no virtual-time machine events")
+	}
+
+	lresp, err := http.Get(base + "/logz?req=" + rid)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("smoke: /logz: %w", err)
+	}
+	defer lresp.Body.Close()
+	var lines []json.RawMessage
+	if err := json.NewDecoder(lresp.Body).Decode(&lines); err != nil {
+		return 0, 0, 0, fmt.Errorf("smoke: /logz does not parse: %w", err)
+	}
+	if len(lines) == 0 {
+		return 0, 0, 0, fmt.Errorf("smoke: request %s left no structured log lines", rid)
+	}
+	return doc.PDObs.WallSpans, doc.PDObs.MachineEvents, len(lines), nil
+}
+
+// smokeScrape reads /metrics over the wire and parses it strictly.
+func smokeScrape(base string) (*obs.Scrape, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("smoke: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("smoke: scrape: status %d", resp.StatusCode)
+	}
+	return obs.ParsePrometheus(resp.Body)
+}
+
+// counterSamples flattens a scrape's counter series for the report.
+func counterSamples(sc *obs.Scrape) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range sc.Samples {
+		if sc.Types[s.Name] == "counter" {
+			out[s.Key()] = s.Value
+		}
+	}
+	return out
 }
 
 func quantileMs(sorted []time.Duration, q float64) float64 {

@@ -193,6 +193,13 @@ func TestChaosSoak(t *testing.T) {
 	hs.Close()
 	s.Close() // abrupt: no drain, simulating a kill
 
+	// Close still settles every admitted job (canceled jobs fail typed), so
+	// the scraped catalog must reconcile with ground truth even after the
+	// full chaos run: sheds, panics, retries, disconnects, and deadlines.
+	if err := s.VerifyMetrics(); err != nil {
+		t.Errorf("metrics reconciliation after chaos soak: %v", err)
+	}
+
 	entries, err := filepath.Glob(filepath.Join(cacheDir, "*"+cacheExt))
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("cache holds %d entries after the load (err %v)", len(entries), err)
@@ -254,6 +261,12 @@ func TestChaosSoak(t *testing.T) {
 		if _, err := decodeEntry(raw, key); err != nil {
 			t.Errorf("entry %s does not verify after the soak: %v", filepath.Base(path), err)
 		}
+	}
+
+	// The restarted server's catalog reconciles too — including the
+	// quarantine counter the torn entry just incremented.
+	if err := s2.VerifyMetrics(); err != nil {
+		t.Errorf("metrics reconciliation after restart: %v", err)
 	}
 }
 
