@@ -15,6 +15,11 @@
 //	pdload -mix tame -concurrency 1 -metrics-compare
 //	                               # racy ops remapped; counter values must
 //	                               # reproduce exactly across the seeded runs
+//	pdload -mix phase -json BENCH_adapt.json
+//	                               # seeded workload-shift experiment: the
+//	                               # adaptation loop must switch exactly once,
+//	                               # beat the no-adapt control, and journal
+//	                               # byte-identical decisions across runs
 //
 // With -repeat > 1 every run uses the same seed against a fresh server and
 // the digests of later runs must match the first — the cross-run half of
@@ -43,12 +48,16 @@ func main() {
 		degradeAt   = flag.Float64("degrade-at", 0.5, "server occupancy past which /search degrades")
 		timeout     = flag.Duration("client-timeout", 60*time.Second, "per-operation hang bound")
 		jsonOut     = flag.String("json", "", "write the first run's report to this file")
-		mixFlag     = flag.String("mix", "chaos", "operation mix: chaos (disconnects + doomed deadlines) or tame (reproducible outcome counters)")
+		mixFlag     = flag.String("mix", "chaos", "operation mix: chaos (disconnects + doomed deadlines), tame (reproducible outcome counters), or phase (workload-shift adaptation experiment)")
 		metricsGate = flag.Bool("metrics", false, "fail the gate when the post-drain /metrics scrape does not reconcile with the server's ground truth")
 		metricsCmp  = flag.Bool("metrics-compare", false, "with -repeat > 1: require later runs to scrape the same counter values as run 1 (needs -mix tame)")
 	)
 	flag.Parse()
 
+	if *mixFlag == "phase" {
+		runPhase(*seed, *jsonOut)
+		return
+	}
 	if *metricsCmp && *mixFlag != "tame" {
 		fatal(fmt.Errorf("-metrics-compare needs -mix tame: the chaos mix races disconnects and deadlines against the server, so its counters are not reproducible"))
 	}
@@ -118,6 +127,44 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runPhase drives the phase-shift experiment: four in-process servers (two
+// seeded adaptive runs, a no-adapt control, an unshifted control) prove that
+// the adaptation loop triggers exactly once on a workload shift, beats the
+// control's steady state, journals byte-identical decisions under a fixed
+// seed, and stays silent when the workload never shifts.
+func runPhase(seed uint64, jsonOut string) {
+	rep, err := load.RunPhase(load.PhaseConfig{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	for _, run := range []*load.PhaseRun{&rep.Adaptive, &rep.Repeat, &rep.Control, &rep.Unshifted} {
+		fmt.Printf("pdload: phase %-9s  %3d ops  triggers %d  switches %d  steady makespan %-6d mapping %q\n",
+			run.Label, run.Requests, run.Triggers, run.Switches, run.SteadyMakespan, run.Mapping)
+	}
+	if rep.Control.SteadyMakespan > 0 {
+		gain := 1 - float64(rep.Adaptive.SteadyMakespan)/float64(rep.Control.SteadyMakespan)
+		fmt.Printf("pdload: phase steady-state gain over no-adapt control: %.1f%% (gate ≥ %.1f%%)\n",
+			gain*100, rep.GainFrac*100)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if err := rep.Gate(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("pdload: phase gates passed: one switch per shifted run, byte-identical decisions across seeds, silent unshifted control")
 }
 
 func shared(a, b map[string]string) int {

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,6 +67,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		workers  = fs.Int("workers", 0, "measurement worker pool size (default 4)")
 		baseMode = fs.String("baseline", "ctr", "compilation mode of the anchoring baseline run")
 		baseBlk  = fs.Int64("baseline-blk", 0, "strip size of the baseline when its mode is opt3")
+		warm     = fs.String("warm", "", "warm-start from a previous run: a pdmap JSON report whose winner seeds the branch-and-bound prune")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of text")
 		htmlOut  = fs.String("html", "", "also write a self-contained HTML report to this file")
 		defines  defineFlag
@@ -111,10 +113,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	var seed []autotune.Mapping
+	if *warm != "" {
+		m, err := warmSeed(*warm)
+		if err != nil {
+			return err
+		}
+		seed = []autotune.Mapping{m}
+	}
+
 	w := &autotune.Workload{Name: name, Source: src, Entry: *entry, Dist: dn, Defines: defines.vals}
 	rep, err := autotune.SearchCtx(ctx, w, machine.DefaultConfig(*procs), autotune.Options{
 		Space: space, Keep: *keep, TopK: *topk, Workers: *workers,
-		BaselineMode: *baseMode, BaselineBlk: *baseBlk,
+		BaselineMode: *baseMode, BaselineBlk: *baseBlk, Seed: seed,
 	})
 	if err != nil {
 		// An interrupted search still returns what it learned: print the
@@ -147,6 +158,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	_, err = io.WriteString(stdout, rep.Format())
 	return err
+}
+
+// warmSeed extracts the winning mapping from a previous run's JSON report —
+// the candidate key's leading segment, e.g. "all" from "all/ctr" or
+// "cyclic_cols(4)" from "cyclic_cols(4)/opt3/blk8".
+func warmSeed(path string) (autotune.Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return autotune.Mapping{}, err
+	}
+	var rep struct{ Winner string }
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return autotune.Mapping{}, fmt.Errorf("-warm %s: %v", path, err)
+	}
+	if rep.Winner == "" {
+		return autotune.Mapping{}, fmt.Errorf("-warm %s: report has no winner", path)
+	}
+	key, _, _ := strings.Cut(rep.Winner, "/")
+	m, err := autotune.ParseMapping(key)
+	if err != nil {
+		return autotune.Mapping{}, fmt.Errorf("-warm %s: %v", path, err)
+	}
+	return m, nil
 }
 
 // pickDist resolves the dist declaration the search varies: the named one, or

@@ -18,9 +18,18 @@
 // /jobs/<id>/trace — returns a Chrome trace stitching the service's
 // wall-clock spans with the machine's virtual-time spans.
 //
+// With -adapt the server watches completed /run traffic per scenario, and
+// when the workload shifts (new problem size dominating the profile) it runs
+// a bounded autotune search in the background and hot-swaps the winning
+// mapping for subsequent requests — every decision journaled so a restart
+// resumes the preference. GET /adapt reports the controller's state, GET
+// /adapt/journal streams its decisions, and adapted responses carry an
+// X-Adapt-Mapping header naming the active mapping.
+//
 // Usage:
 //
 //	pdserve -addr :8420 -cache /var/cache/pdserve
+//	pdserve -addr :8420 -cache /var/cache/pdserve -adapt -cache-max-bytes 1073741824
 //	pdserve -smoke -json    # self-check: serve, hammer, report, exit
 //	pdserve -debug-addr 127.0.0.1:8421   # net/http/pprof, on its own listener
 //
@@ -43,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"procdecomp/internal/adapt"
 	"procdecomp/internal/serve"
 )
 
@@ -55,6 +65,13 @@ func main() {
 		maxDL      = flag.Duration("max-deadline", 2*time.Minute, "largest deadline a request may ask for")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		cacheDir   = flag.String("cache", "", "persistent result cache + job journal directory (empty = neither)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "disk cache size cap in bytes; least-recently-used entries evict past it (0 = unbounded)")
+		compactEv  = flag.Int("journal-compact-every", 4096, "fold the job and adapt journals after this many appended records (negative = only on open)")
+		adaptOn    = flag.Bool("adapt", false, "watch /run traffic per scenario and re-decompose in the background when the workload shifts (needs -cache for durable decisions)")
+		adaptObs   = flag.Int("adapt-min-obs", 16, "observations a scenario needs before a shift may trigger")
+		adaptDwell = flag.Int("adapt-dwell", 8, "consecutive shifted observations required before a search triggers")
+		adaptCool  = flag.Int("adapt-cooldown", 64, "observations a scenario stays quiet after a trigger")
+		adaptGain  = flag.Float64("adapt-min-gain", 0.05, "relative measured improvement required before a mapping is swapped in")
 		retries    = flag.Int("retries", 2, "retries for a panicking evaluation before the request fails")
 		fairAt     = flag.Float64("fair-share-at", 0.5, "queue occupancy at which per-tenant fair-share caps engage (>=1 disables)")
 		degradeAt  = flag.Float64("degrade-at", 0.75, "smoothed occupancy past which /search degrades to a bounded budget (>=1 disables)")
@@ -85,8 +102,13 @@ func main() {
 		QueueDepth: *queue, Workers: *workers,
 		DefaultDeadline: *deadline, MaxDeadline: *maxDL, DrainTimeout: *drain,
 		Retries: *retries, CacheDir: *cacheDir, PanicEvery: *panicEvery,
+		CacheMaxBytes: *cacheMax, JournalCompactEvery: *compactEv,
 		FairShareAt: *fairAt, DegradeAt: *degradeAt, DegradeKeep: *degKeep,
 		LogHandler: handler,
+		Adapt: adapt.Config{
+			Enabled: *adaptOn, MinObs: *adaptObs, Dwell: *adaptDwell,
+			Cooldown: *adaptCool, MinGain: *adaptGain,
+		},
 	}
 
 	// The profiler is opt-in and always on its own listener: exposing pprof

@@ -73,8 +73,12 @@ type Report struct {
 	Enumerated int              // space size before forcing the reference in
 	Baseline   Baseline
 	Results    []Result
-	Winner     string // winning candidate's Key
-	Hand       string // reference candidate's Key
+	// Replayed counts the candidates actually scored by DAG replay in tier
+	// 2 — the work the branch-and-bound prune did not save. Warm-starting
+	// (Options.Seed) lowers it without changing the winner.
+	Replayed int
+	Winner   string // winning candidate's Key
+	Hand     string // reference candidate's Key
 	// Regret is the reference mapping's measured makespan minus the winner's:
 	// how many cycles the hand-chosen decomposition leaves on the table.
 	Regret uint64
@@ -107,6 +111,16 @@ type Options struct {
 	// Default: the paper's hand choice — cyclic columns over the whole
 	// machine, fully optimized (opt3) with block size 8.
 	Hand *Candidate
+	// Seed lists warm-start mappings — typically the incumbent decomposition
+	// an adaptive caller is already serving. Each valid seed is expanded
+	// across the space's pipeline dimension, forced into the candidate set,
+	// and replayed first in tier 2, so the branch-and-bound prune starts
+	// from the incumbent's bound instead of discovering one from scratch.
+	// Seeding a mapping already inside the space never changes the winner,
+	// only the replay order and count; a seed outside the space widens it.
+	// Invalid seeds are skipped — a stale incumbent must not kill the
+	// search that would replace it.
+	Seed []Mapping
 	// Progress, when non-nil, receives coarse search progress: the anchored
 	// baseline, each tier transition with done/total counts, a partial
 	// ranking after the prediction tier, every confirmed measurement, and
@@ -376,6 +390,27 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		cands = append(cands, hand)
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
 	}
+	// Warm start: force each seeded mapping in, expanded across the space's
+	// pipeline points, and remember its rank so tier 2 replays it first.
+	seedRank := map[string]int{}
+	for _, m := range opts.Seed {
+		if err := m.Validate(int64(cfg.Procs)); err != nil {
+			continue
+		}
+		for _, pp := range opts.Space.pipelinePoints() {
+			c := Candidate{Mapping: m, Mode: pp.mode, Blk: pp.blk}
+			if _, ok := seedRank[c.Key()]; ok {
+				continue
+			}
+			seedRank[c.Key()] = len(seedRank)
+			if !hasKey(cands, c.Key()) {
+				cands = append(cands, c)
+			}
+		}
+	}
+	if len(seedRank) > 0 {
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
+	}
 	emit(Progress{Stage: "enumerated", Total: len(cands)})
 
 	// Tier 1: compile and walk everything. Each evaluation runs under a
@@ -429,6 +464,16 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 	emit(Progress{Stage: "static", Done: len(modeled), Total: len(cands)})
 	sort.SliceStable(modeled, func(a, b int) bool {
 		ra, rb := results[modeled[a]], results[modeled[b]]
+		sa, aok := seedRank[ra.Candidate.Key()]
+		sb, bok := seedRank[rb.Candidate.Key()]
+		if aok != bok {
+			// Seeded candidates replay first: the incumbent's bound is in
+			// place before anything else can be pruned against it.
+			return aok
+		}
+		if aok && sa != sb {
+			return sa < sb
+		}
 		if ra.Static != rb.Static {
 			return ra.Static < rb.Static
 		}
@@ -440,10 +485,12 @@ func SearchCtx(ctx context.Context, w *Workload, cfg machine.Config, opts Option
 		if err := ctx.Err(); err != nil {
 			return interrupted(rep, results, err)
 		}
-		forced := results[i].Candidate.Key() == hand.Key()
+		_, seeded := seedRank[results[i].Candidate.Key()]
+		forced := seeded || results[i].Candidate.Key() == hand.Key()
 		if n >= opts.Keep && haveBest && results[i].Static >= best && !forced {
 			continue // provably not the winner
 		}
+		rep.Replayed++
 		pred, err := profiles[i].Predict(cfg)
 		if err != nil {
 			results[i].Status = StatusInfeasible

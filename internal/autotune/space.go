@@ -156,15 +156,6 @@ func (sp Space) Enumerate(procs int) []Candidate {
 			spans = append(spans, p/2)
 		}
 	}
-	modes := sp.Modes
-	if len(modes) == 0 {
-		modes = xform.StandardModes()
-	}
-	blks := sp.Blks
-	if len(blks) == 0 {
-		blks = []int64{4, 8}
-	}
-
 	var mappings []Mapping
 	for _, k := range kinds {
 		switch k {
@@ -191,25 +182,49 @@ func (sp Space) Enumerate(procs int) []Candidate {
 
 	var out []Candidate
 	seen := map[string]bool{}
-	add := func(c Candidate) {
-		if !seen[c.Key()] {
-			seen[c.Key()] = true
-			out = append(out, c)
-		}
-	}
+	points := sp.pipelinePoints()
 	for _, m := range mappings {
-		for _, mode := range modes {
-			if mode == "opt3" {
-				for _, b := range blks {
-					if b >= 1 {
-						add(Candidate{Mapping: m, Mode: mode, Blk: b})
-					}
-				}
-			} else {
-				add(Candidate{Mapping: m, Mode: mode})
+		for _, pp := range points {
+			c := Candidate{Mapping: m, Mode: pp.mode, Blk: pp.blk}
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				out = append(out, c)
 			}
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// A pipelinePoint is one configuration of the space's non-mapping dimension:
+// an optimization mode, with a strip-mine block size when the mode takes one.
+type pipelinePoint struct {
+	mode string
+	blk  int64
+}
+
+// pipelinePoints lists the space's (mode, blk) pairs with the same defaults
+// Enumerate applies — the dimension a warm-start mapping is expanded across.
+func (sp Space) pipelinePoints() []pipelinePoint {
+	modes := sp.Modes
+	if len(modes) == 0 {
+		modes = xform.StandardModes()
+	}
+	blks := sp.Blks
+	if len(blks) == 0 {
+		blks = []int64{4, 8}
+	}
+	var out []pipelinePoint
+	for _, mode := range modes {
+		if mode == "opt3" {
+			for _, b := range blks {
+				if b >= 1 {
+					out = append(out, pipelinePoint{mode: mode, blk: b})
+				}
+			}
+		} else {
+			out = append(out, pipelinePoint{mode: mode})
+		}
+	}
 	return out
 }

@@ -1,0 +1,95 @@
+package autotune
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"procdecomp/internal/dist"
+	"procdecomp/internal/machine"
+)
+
+// Warm-starting seeds the branch-and-bound prune with the incumbent's bound.
+// It must never change the winner, the regret, or any shared candidate's
+// scores — only which candidates tier 2 visits, and in what order.
+func TestWarmStartPreservesWinner(t *testing.T) {
+	cfg := machine.DefaultConfig(4)
+	w := gsWorkload(16)
+	base := Options{Space: Space{Modes: []string{"opt3"}, Blks: []int64{8}}, Keep: 1, TopK: 1}
+
+	cold, err := SearchCtx(context.Background(), w, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := map[string]Mapping{
+		"winner":     mustMapping(t, strings.SplitN(cold.Winner, "/", 2)[0]),
+		"incumbent":  {Kind: dist.KindCyclicCols, Span: 4}, // the declared mapping: the realistic adaptive case
+		"cold-loser": {Kind: dist.KindBlock2D, PR: 2, PC: 2},
+	}
+	for name, m := range seeds {
+		t.Run(name, func(t *testing.T) {
+			opts := base
+			opts.Seed = []Mapping{m}
+			warm, err := SearchCtx(context.Background(), w, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Winner != cold.Winner || warm.Regret != cold.Regret {
+				t.Errorf("warm winner %s regret %d, cold winner %s regret %d",
+					warm.Winner, warm.Regret, cold.Winner, cold.Regret)
+			}
+			if warm.Baseline != cold.Baseline {
+				t.Errorf("warm baseline %+v differs from cold %+v", warm.Baseline, cold.Baseline)
+			}
+			// Every candidate the runs share scores identically; seeding only
+			// moves candidates between pruned and predicted.
+			coldBy := map[string]Result{}
+			for _, r := range cold.Results {
+				coldBy[r.Candidate.Key()] = r
+			}
+			for _, r := range warm.Results {
+				c, ok := coldBy[r.Candidate.Key()]
+				if !ok {
+					continue
+				}
+				if r.Measured != c.Measured || (r.Status == StatusMeasured) != (c.Status == StatusMeasured) {
+					t.Errorf("%s: warm %s/%d, cold %s/%d",
+						r.Candidate.Key(), r.Status, r.Measured, c.Status, c.Measured)
+				}
+			}
+			// The seeded candidate is never pruned: its bound is what the
+			// prune starts from.
+			seededKey := Candidate{Mapping: m, Mode: "opt3", Blk: 8}.Key()
+			for _, r := range warm.Results {
+				if r.Candidate.Key() == seededKey && r.Status == StatusPruned {
+					t.Errorf("seeded candidate %s was pruned", seededKey)
+				}
+			}
+		})
+	}
+
+	// An invalid seed (span exceeds the machine) is skipped, not fatal: the
+	// report is the cold report.
+	opts := base
+	opts.Seed = []Mapping{{Kind: dist.KindCyclicCols, Span: 99}}
+	warm, err := SearchCtx(context.Background(), w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Winner != cold.Winner || warm.Replayed != cold.Replayed || len(warm.Results) != len(cold.Results) {
+		t.Errorf("invalid seed changed the search: warm %s/%d/%d, cold %s/%d/%d",
+			warm.Winner, warm.Replayed, len(warm.Results), cold.Winner, cold.Replayed, len(cold.Results))
+	}
+}
+
+// mustMapping parses a mapping key, defaulting a span-less 1-D family is not
+// needed here — winners always carry their span.
+func mustMapping(t *testing.T, key string) Mapping {
+	t.Helper()
+	m, err := ParseMapping(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -190,9 +190,9 @@ const (
 
 // plan is the deterministic schedule for one operation index.
 type plan struct {
-	kind    opKind
-	tmpl    int
-	tenant  string
+	kind     opKind
+	tmpl     int
+	tenant   string
 	cancelMS int // opDisconnect: client abandons after this many ms
 }
 

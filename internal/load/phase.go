@@ -1,0 +1,363 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"procdecomp/internal/adapt"
+	"procdecomp/internal/serve"
+)
+
+// The phase-shift harness is the adaptation loop's end-to-end proof under
+// real HTTP traffic: a workload that runs one problem size for a phase and
+// then shifts to another, driven at concurrency 1 so the observation
+// sequence — and therefore every controller decision — is deterministic.
+// Four in-process servers tell the whole story:
+//
+//   - adaptive + shifted, twice with the same seed: the controller must
+//     trigger exactly one re-decomposition, switch to a measurably better
+//     mapping, and journal byte-identical decisions across the two runs;
+//   - no-adapt + shifted: the control whose steady-state makespan the
+//     adaptive run must beat by the configured margin;
+//   - adaptive + unshifted: the null control — steady traffic must never
+//     trigger.
+
+// PhaseConfig shapes one phase-shift experiment. The zero value takes the
+// defaults below.
+type PhaseConfig struct {
+	// Seed feeds the server's deterministic jitter; the request schedule
+	// itself is fixed (concurrency 1, fixed op counts).
+	Seed uint64
+	// PhaseOps is the request count per phase (default 30) — enough for the
+	// EWMA profile to cross the shift threshold and dwell out.
+	PhaseOps int
+	// SteadyOps is the measured steady-state request count after the
+	// controller settles (default 8).
+	SteadyOps int
+	// Procs/BaseN/ShiftN shape the workload: Gauss-Seidel at Procs, problem
+	// size BaseN in phase one and ShiftN in phase two (defaults 4, 16, 24).
+	Procs  int
+	BaseN  int64
+	ShiftN int64
+	// GainFrac is the steady-state margin the adaptive run must beat the
+	// no-adapt control by (default 0.05): adaptive <= (1-GainFrac)*control.
+	GainFrac float64
+}
+
+func (c PhaseConfig) withDefaults() PhaseConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PhaseOps <= 0 {
+		c.PhaseOps = 30
+	}
+	if c.SteadyOps <= 0 {
+		c.SteadyOps = 8
+	}
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.BaseN <= 0 {
+		c.BaseN = 16
+	}
+	if c.ShiftN <= 0 {
+		c.ShiftN = 24
+	}
+	if c.GainFrac <= 0 {
+		c.GainFrac = 0.05
+	}
+	return c
+}
+
+// phaseAdaptConfig is the controller tuning every adaptive run uses: the
+// profile needs ten observations and six dwells to trigger, and the long
+// cooldown bounds each run to at most one switch per phase.
+func phaseAdaptConfig(enabled bool) adapt.Config {
+	return adapt.Config{
+		Enabled: enabled, Alpha: 0.2, ShiftAt: 0.6, MinObs: 10, Dwell: 6,
+		Cooldown: 1000, MinGain: 0.02, SearchKeep: 8, SearchTopK: 2,
+	}
+}
+
+// PhaseRun is one server's side of the experiment.
+type PhaseRun struct {
+	Label    string
+	Requests int
+	// Controller outcome after drain.
+	Triggers int64
+	Switches int64
+	// Mapping is the X-Adapt-Mapping of the last steady-state response
+	// ("" = the program as declared).
+	Mapping string
+	// SteadyMakespan is the last steady-state response's simulated makespan.
+	SteadyMakespan uint64
+	// Decisions is the raw NDJSON of GET /adapt/journal after drain — the
+	// byte stream the determinism gate compares across seeded runs.
+	Decisions string `json:",omitempty"`
+	// AdaptCounters are the pdserve_adapt_* samples scraped after drain.
+	AdaptCounters map[string]float64 `json:",omitempty"`
+	// MetricsCheck is the post-drain reconciliation outcome ("" = held).
+	MetricsCheck string `json:",omitempty"`
+}
+
+// PhaseReport is the whole experiment.
+type PhaseReport struct {
+	Seed     uint64
+	Procs    int
+	BaseN    int64
+	ShiftN   int64
+	GainFrac float64
+
+	Adaptive  PhaseRun // adapt on, workload shifts
+	Repeat    PhaseRun // same seed again: must reproduce Adaptive's bytes
+	Control   PhaseRun // adapt off, workload shifts
+	Unshifted PhaseRun // adapt on, workload never shifts
+}
+
+// RunPhase executes the four-server experiment and returns the report.
+func RunPhase(cfg PhaseConfig) (*PhaseReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &PhaseReport{Seed: cfg.Seed, Procs: cfg.Procs,
+		BaseN: cfg.BaseN, ShiftN: cfg.ShiftN, GainFrac: cfg.GainFrac}
+	var err error
+	if rep.Adaptive, err = phaseRun("adaptive", cfg, true, true); err != nil {
+		return nil, err
+	}
+	if rep.Repeat, err = phaseRun("repeat", cfg, true, true); err != nil {
+		return nil, err
+	}
+	if rep.Control, err = phaseRun("control", cfg, false, true); err != nil {
+		return nil, err
+	}
+	if rep.Unshifted, err = phaseRun("unshifted", cfg, true, false); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// phaseRun drives one server through the phase schedule at concurrency 1.
+func phaseRun(label string, cfg PhaseConfig, adaptOn, shifted bool) (PhaseRun, error) {
+	run := PhaseRun{Label: label}
+	dir, err := os.MkdirTemp("", "pdphase-*")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.New(serve.Config{
+		Workers: 1, QueueDepth: 16, CacheDir: dir, AdmitSeed: cfg.Seed,
+		Adapt: phaseAdaptConfig(adaptOn),
+	})
+	if err != nil {
+		return run, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return run, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+		s.Close()
+	}()
+	if err := awaitReady(client, base); err != nil {
+		return run, err
+	}
+
+	post := func(n int64) (string, uint64, error) {
+		body, _ := json.Marshal(serve.Request{
+			GS: true, Procs: cfg.Procs, Mode: "ctr", Defines: map[string]int64{"N": n}})
+		resp, err := client.Post(base+"/run", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return "", 0, err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", 0, fmt.Errorf("load: phase %s: /run N=%d: status %d: %.200s", label, n, resp.StatusCode, payload)
+		}
+		var rr struct{ Makespan uint64 }
+		if err := json.Unmarshal(payload, &rr); err != nil {
+			return "", 0, err
+		}
+		run.Requests++
+		return resp.Header.Get("X-Adapt-Mapping"), rr.Makespan, nil
+	}
+
+	// Phase one: BaseN traffic. Phase two (shifted runs): ShiftN traffic.
+	for i := 0; i < cfg.PhaseOps; i++ {
+		if _, _, err := post(cfg.BaseN); err != nil {
+			return run, err
+		}
+	}
+	steadyN := cfg.BaseN
+	if shifted {
+		steadyN = cfg.ShiftN
+		for i := 0; i < cfg.PhaseOps; i++ {
+			if _, _, err := post(cfg.ShiftN); err != nil {
+				return run, err
+			}
+		}
+	}
+	// Let any in-flight or queued search settle before measuring steady
+	// state, so the steady requests run under the post-decision preference.
+	if adaptOn {
+		if err := awaitAdaptIdle(client, base); err != nil {
+			return run, err
+		}
+	}
+	for i := 0; i < cfg.SteadyOps; i++ {
+		mapping, makespan, err := post(steadyN)
+		if err != nil {
+			return run, err
+		}
+		run.Mapping, run.SteadyMakespan = mapping, makespan
+	}
+
+	// Drain, then read the settled ledgers: the decision journal bytes, the
+	// post-drain scrape, and the controller's counters.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		return run, err
+	}
+	if adaptOn {
+		resp, err := client.Get(base + "/adapt/journal")
+		if err != nil {
+			return run, err
+		}
+		lines, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return run, err
+		}
+		run.Decisions = string(lines)
+	}
+	metrics, check := scrapeCounters(client, base, s)
+	run.MetricsCheck = check
+	run.AdaptCounters = map[string]float64{}
+	for k, v := range metrics {
+		if strings.HasPrefix(k, "pdserve_adapt_") {
+			run.AdaptCounters[k] = v
+		}
+	}
+	st := s.Stats()
+	run.Triggers, run.Switches = st.Adapt.Triggers, st.Adapt.Switched
+	return run, nil
+}
+
+// awaitAdaptIdle polls GET /adapt until no search is queued or running.
+func awaitAdaptIdle(client *http.Client, base string) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(base + "/adapt")
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var ar struct {
+			Status struct{ Busy bool }
+		}
+		if err := json.Unmarshal(body, &ar); err != nil {
+			return err
+		}
+		if !ar.Status.Busy {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("load: adaptation never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WriteJSON writes the report.
+func (r *PhaseReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Gate returns an error when any phase-shift promise fails: the shifted
+// adaptive runs must trigger and switch exactly once and reproduce each
+// other byte-for-byte, the unshifted run must never trigger, the adaptive
+// steady state must beat the no-adapt control by the margin, and every
+// run's metrics must reconcile.
+func (r *PhaseReport) Gate() error {
+	var problems []string
+	for _, run := range []*PhaseRun{&r.Adaptive, &r.Repeat} {
+		if run.Triggers != 1 || run.Switches != 1 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d triggers, %d switches, want exactly 1 of each", run.Label, run.Triggers, run.Switches))
+		}
+		if run.Mapping == "" {
+			problems = append(problems, run.Label+": steady state runs with no adaptive mapping")
+		}
+	}
+	if r.Adaptive.Decisions != r.Repeat.Decisions {
+		problems = append(problems, "decision journals differ between equal seeded runs")
+	}
+	if len(CompareCounters(r.Adaptive.AdaptCounters, r.Repeat.AdaptCounters)) > 0 {
+		problems = append(problems, fmt.Sprintf("adapt counters differ between equal seeded runs: %v",
+			CompareCounters(r.Adaptive.AdaptCounters, r.Repeat.AdaptCounters)))
+	}
+	if r.Unshifted.Triggers != 0 {
+		problems = append(problems, fmt.Sprintf("unshifted control triggered %d searches", r.Unshifted.Triggers))
+	}
+	if r.Control.SteadyMakespan == 0 || r.Adaptive.SteadyMakespan == 0 {
+		problems = append(problems, "a steady-state makespan is missing")
+	} else if limit := float64(r.Control.SteadyMakespan) * (1 - r.GainFrac); float64(r.Adaptive.SteadyMakespan) > limit {
+		problems = append(problems, fmt.Sprintf(
+			"adaptive steady makespan %d does not beat the no-adapt control %d by %.0f%%",
+			r.Adaptive.SteadyMakespan, r.Control.SteadyMakespan, r.GainFrac*100))
+	}
+	for _, run := range []*PhaseRun{&r.Adaptive, &r.Repeat, &r.Control, &r.Unshifted} {
+		if run.MetricsCheck != "" {
+			problems = append(problems, run.Label+": metrics reconciliation: "+run.MetricsCheck)
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("load: phase gate failed: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// CompareCounters returns the keys whose values differ between two scraped
+// counter maps (a key present in only one side differs too).
+func CompareCounters(a, b map[string]float64) []string {
+	union := map[string]bool{}
+	for k := range a {
+		union[k] = true
+	}
+	for k := range b {
+		union[k] = true
+	}
+	var bad []string
+	for k := range union {
+		av, aok := a[k]
+		bv, bok := b[k]
+		if !aok || !bok || av != bv {
+			bad = append(bad, k)
+		}
+	}
+	return bad
+}

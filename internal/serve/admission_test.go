@@ -113,6 +113,79 @@ func TestAdmissionDoomedShed(t *testing.T) {
 	}
 }
 
+// The drain-rate EWMA must track a step change in service rate: a server
+// that drained 100 jobs/sec and drops to 10/sec should re-estimate within a
+// bounded number of samples, because Retry-After and the doomed-shed verdict
+// both run on it. Times are fabricated, so the samples are exact.
+func TestAdmissionDrainRateTracksStepChange(t *testing.T) {
+	cfg := Config{QueueDepth: 64}.withDefaults()
+	a := newAdmission(cfg)
+	now := time.Now()
+
+	// Fast regime: a dequeue every 10ms is 100 jobs/sec.
+	for i := 0; i < 40; i++ {
+		a.admit("/run", "", time.Minute, uint64(i), now)
+		now = now.Add(10 * time.Millisecond)
+		a.dequeued("", time.Millisecond, now)
+	}
+	if _, rate, _ := a.snapshot(); rate < 90 || rate > 110 {
+		t.Fatalf("fast-regime drain rate = %v, want ~100/sec", rate)
+	}
+
+	// Step: a dequeue every 100ms is 10 jobs/sec. With the 0.8/0.2 EWMA the
+	// old regime's weight is 0.8^n after n samples — under 1% of the estimate
+	// by sample 21, so 40 samples must land within 10% of the new rate.
+	for i := 0; i < 40; i++ {
+		a.admit("/run", "", time.Minute, uint64(100+i), now)
+		now = now.Add(100 * time.Millisecond)
+		a.dequeued("", time.Millisecond, now)
+	}
+	if _, rate, _ := a.snapshot(); rate < 9 || rate > 11 {
+		t.Fatalf("post-step drain rate = %v, want ~10/sec", rate)
+	}
+}
+
+// The doomed-shed verdict must flip when the measured queue wait steps up:
+// the same 500ms-deadline request that admits under 1ms waits is shed at
+// admission once dequeues report 2s waits — and the wait EWMA's 3/4 memory
+// means one slow sample already moves the estimate past the deadline.
+func TestAdmissionDoomedFlipsOnQueueWaitStep(t *testing.T) {
+	cfg := Config{QueueDepth: 64, FairShareAt: 2}.withDefaults()
+	a := newAdmission(cfg)
+	now := time.Now()
+
+	// Fast regime: 1ms measured waits, 1ms apart. Keep one job resident so
+	// the doomed check (which needs a non-empty queue) is actually exercised.
+	a.admit("/run", "resident", time.Minute, 0, now)
+	for i := 0; i < 16; i++ {
+		a.admit("/run", "", time.Minute, uint64(1+i), now)
+		now = now.Add(time.Millisecond)
+		a.dequeued("", time.Millisecond, now)
+	}
+	d := a.admit("/run", "", 500*time.Millisecond, 50, now)
+	if d.shed != nil {
+		t.Fatalf("500ms deadline shed under 1ms measured waits: %v", d.shed)
+	}
+	a.release("")
+
+	// Step: dequeues now report 2s waits. qwait = (3*qwait + waited)/4, so
+	// two samples take the estimate from ~1ms past 1.1s >> 500ms.
+	for i := 0; i < 2; i++ {
+		a.admit("/run", "", time.Minute, uint64(60+i), now)
+		now = now.Add(time.Second)
+		a.dequeued("", 2*time.Second, now)
+	}
+	d = a.admit("/run", "", 500*time.Millisecond, 70, now)
+	if d.shed == nil || d.shed.Kind != KindDeadline || d.reason != "doomed" {
+		t.Fatalf("post-step 500ms deadline = %+v, want doomed shed", d)
+	}
+	// A patient request still admits: the flip is deadline-relative, not a
+	// blanket refusal.
+	if d := a.admit("/run", "", time.Minute, 71, now); d.shed != nil {
+		t.Fatalf("patient request shed after wait step: %v", d.shed)
+	}
+}
+
 func TestAdmissionDegradesSearchUnderSaturation(t *testing.T) {
 	cfg := Config{QueueDepth: 4, FairShareAt: 2, DegradeAt: -1, DegradeKeep: 3}.withDefaults()
 	a := newAdmission(cfg)

@@ -126,8 +126,12 @@ func normalize(endpoint string, req Request) (Request, error) {
 // encoding/json emits struct fields in declaration order and map keys
 // sorted, so equal requests hash equal. A degraded /search result (budget
 // > 0) hashes under a budget-qualified prefix: a reduced-fidelity answer
-// must never be served later as the full one, or vice versa.
-func contentKey(endpoint string, req Request, budget int) string {
+// must never be served later as the full one, or vice versa. A /run
+// evaluated under an adaptive mapping preference hashes under a
+// mapping-qualified prefix for the same reason: the response bytes depend
+// on the decomposition actually compiled, so entries from before and after
+// a re-decomposition switch must never alias.
+func contentKey(endpoint string, req Request, budget int, mapping string) string {
 	req.TimeoutMS = 0
 	b, err := json.Marshal(req)
 	if err != nil {
@@ -136,7 +140,10 @@ func contentKey(endpoint string, req Request, budget int) string {
 	}
 	prefix := endpoint
 	if budget > 0 {
-		prefix = fmt.Sprintf("%s@budget%d", endpoint, budget)
+		prefix = fmt.Sprintf("%s@budget%d", prefix, budget)
+	}
+	if mapping != "" {
+		prefix = fmt.Sprintf("%s@map:%s", prefix, mapping)
 	}
 	sum := sha256.Sum256(append([]byte(prefix+"\n"), b...))
 	return hex.EncodeToString(sum[:])
@@ -153,12 +160,22 @@ type evalHooks struct {
 	emit      func(Event)
 	wantTrace bool
 	chrome    func([]byte)
+	// mapping, when set, retargets the program's dist declaration to the
+	// adaptation controller's preferred decomposition before compiling.
+	mapping string
 }
 
 func (h *evalHooks) publish(ev Event) {
 	if h != nil && h.emit != nil {
 		h.emit(ev)
 	}
+}
+
+func (h *evalHooks) mappingKey() string {
+	if h == nil {
+		return ""
+	}
+	return h.mapping
 }
 
 // evaluate dispatches one admitted job to its endpoint's evaluator and
@@ -199,11 +216,27 @@ func source(req Request) string {
 
 // compile builds the per-process programs the way pdrun does: parse,
 // semantic-check at the machine size, compile (run-time or compile-time
-// resolution), and apply the mode's pass pipeline.
-func compile(req Request) ([]*spmd.Program, *sem.Info, error) {
+// resolution), and apply the mode's pass pipeline. A non-empty mapping —
+// the adaptation controller's preference — retargets the program's dist
+// declaration between parse and semantic check, exactly the way the
+// autotune search compiles its candidates.
+func compile(req Request, mapping string) ([]*spmd.Program, *sem.Info, error) {
 	prog, err := lang.Parse(source(req))
 	if err != nil {
 		return nil, nil, err
+	}
+	if mapping != "" {
+		m, err := autotune.ParseMapping(mapping)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: adapt mapping %q: %w", mapping, err)
+		}
+		dn, err := pickDistProg(prog, req.Dist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: adapt retarget: %w", err)
+		}
+		if err := autotune.Retarget(prog, dn, m); err != nil {
+			return nil, nil, err
+		}
 	}
 	info, errs := sem.Check(prog, sem.Config{Procs: int64(req.Procs), Defines: req.Defines})
 	if len(errs) > 0 {
@@ -266,7 +299,7 @@ type CompileResponse struct {
 }
 
 func doCompile(req Request) (*CompileResponse, error) {
-	progs, _, err := compile(req)
+	progs, _, err := compile(req, "")
 	if err != nil {
 		return nil, err
 	}
@@ -303,8 +336,11 @@ type RunResponse struct {
 	Messages int64
 	Values   int64
 	Bytes    int64
-	Arrays   []ArrayResult  `json:",omitempty"`
-	Scalars  []ScalarResult `json:",omitempty"`
+	// Mapping reports the adaptive decomposition the run was compiled with,
+	// when the controller had a preference ("" = the program as declared).
+	Mapping string         `json:",omitempty"`
+	Arrays  []ArrayResult  `json:",omitempty"`
+	Scalars []ScalarResult `json:",omitempty"`
 }
 
 func doRun(ctx context.Context, req Request, hooks *evalHooks) (*RunResponse, error) {
@@ -316,6 +352,7 @@ func doRun(ctx context.Context, req Request, hooks *evalHooks) (*RunResponse, er
 		Entry: req.Entry, Procs: req.Procs, Mode: req.Mode,
 		Makespan: uint64(out.Stats.Makespan),
 		Messages: out.Stats.Messages, Values: out.Stats.Values, Bytes: out.Stats.Bytes,
+		Mapping: hooks.mappingKey(),
 	}
 	if req.Mode == "opt3" {
 		resp.Blk = req.Blk
@@ -357,7 +394,7 @@ const heartbeatEvery = 256
 // With hooks, the simulated machine streams virtual-time heartbeats to the
 // job's event log as it runs.
 func runOnce(ctx context.Context, req Request, tr *trace.Log, hooks *evalHooks) (*exec.SPMDOutcome, machine.Config, error) {
-	progs, info, err := compile(req)
+	progs, info, err := compile(req, hooks.mappingKey())
 	if err != nil {
 		return nil, machine.Config{}, err
 	}
@@ -447,6 +484,12 @@ func pickDist(src, name string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return pickDistProg(prog, name)
+}
+
+// pickDistProg is pickDist on an already-parsed program — the adapt
+// retarget path reuses the parse it is about to rewrite.
+func pickDistProg(prog *lang.Program, name string) (string, error) {
 	var found []string
 	for _, d := range prog.Decls {
 		if dd, ok := d.(*lang.DistDecl); ok {

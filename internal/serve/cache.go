@@ -24,17 +24,36 @@ import (
 //
 // Keys are hex content hashes (contentKey); the entry's filename is a hash
 // of the key, so hostile or oversized keys cannot escape the directory.
+//
+// The cache can be bounded (OpenDiskCacheLimit): a byte ledger tracks every
+// installed entry, and each Put sweeps least-recently-used entries until the
+// footprint fits the budget. Recency is a logical access clock, not the
+// filesystem's atime — mount options must not change eviction order.
 type DiskCache struct {
 	dir        string
+	maxBytes   int64      // 0 = unbounded
 	mu         sync.Mutex // serializes writers per cache, not readers
 	hits       atomic.Int64
 	misses     atomic.Int64
 	writes     atomic.Int64
 	quarantine atomic.Int64
+	evictions  atomic.Int64
+	// lmu guards the byte ledger and the logical-clock recency index the
+	// eviction sweep orders victims by.
+	lmu   sync.Mutex
+	bytes int64
+	clock uint64
+	meta  map[string]*entryMeta // by entry file base name
 	// onOp, when set, observes every counted operation ("hit", "miss",
-	// "write", "quarantined") — the server's metrics mirror. Set before the
-	// cache sees traffic; never mutated after.
+	// "write", "quarantined", "evict") — the server's metrics mirror. Set
+	// before the cache sees traffic; never mutated after.
 	onOp func(op string)
+}
+
+// entryMeta is one installed entry's ledger line.
+type entryMeta struct {
+	size  int64
+	atime uint64 // logical access clock; unique per touch, so no victim ties
 }
 
 const (
@@ -44,9 +63,17 @@ const (
 	cacheTmpSuffix = ".tmp"
 )
 
-// OpenDiskCache opens (creating if needed) a cache rooted at dir and sweeps
-// temp files a previous crash may have stranded.
+// OpenDiskCache opens (creating if needed) an unbounded cache rooted at dir
+// and sweeps temp files a previous crash may have stranded.
 func OpenDiskCache(dir string) (*DiskCache, error) {
+	return OpenDiskCacheLimit(dir, 0)
+}
+
+// OpenDiskCacheLimit opens a cache whose installed entries may occupy at most
+// maxBytes on disk (0 = unbounded). Existing entries are charged to the
+// ledger in file-name order — a deterministic recency seed — and an
+// over-budget directory is swept immediately, coldest first.
+func OpenDiskCacheLimit(dir string, maxBytes int64) (*DiskCache, error) {
 	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open cache: %w", err)
 	}
@@ -54,12 +81,23 @@ func OpenDiskCache(dir string) (*DiskCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: open cache: %w", err)
 	}
-	for _, e := range names {
-		if strings.HasSuffix(e.Name(), cacheTmpSuffix) {
+	c := &DiskCache{dir: dir, maxBytes: maxBytes, meta: map[string]*entryMeta{}}
+	for _, e := range names { // ReadDir sorts by name
+		switch {
+		case strings.HasSuffix(e.Name(), cacheTmpSuffix):
 			os.Remove(filepath.Join(dir, e.Name()))
+		case strings.HasSuffix(e.Name(), cacheExt):
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			c.clock++
+			c.meta[e.Name()] = &entryMeta{size: info.Size(), atime: c.clock}
+			c.bytes += info.Size()
 		}
 	}
-	return &DiskCache{dir: dir}, nil
+	c.sweep("")
+	return c, nil
 }
 
 // observe reports one counted operation to the metrics mirror, if attached.
@@ -95,9 +133,32 @@ func (c *DiskCache) Get(key string) ([]byte, bool) {
 		c.observe("miss")
 		return nil, false
 	}
+	c.touch(filepath.Base(path))
 	c.hits.Add(1)
 	c.observe("hit")
 	return payload, true
+}
+
+// touch refreshes an entry's recency; a no-op for entries already evicted or
+// quarantined between the read and the bump.
+func (c *DiskCache) touch(name string) {
+	c.lmu.Lock()
+	if m, ok := c.meta[name]; ok {
+		c.clock++
+		m.atime = c.clock
+	}
+	c.lmu.Unlock()
+}
+
+// forget drops an entry from the byte ledger (quarantined or externally
+// removed).
+func (c *DiskCache) forget(name string) {
+	c.lmu.Lock()
+	if m, ok := c.meta[name]; ok {
+		c.bytes -= m.size
+		delete(c.meta, name)
+	}
+	c.lmu.Unlock()
 }
 
 // Put stores the payload under key with an atomic write-rename. A concurrent
@@ -116,7 +177,8 @@ func (c *DiskCache) Put(key string, payload []byte) error {
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(encodeEntry(key, payload)); err != nil {
+	enc := encodeEntry(key, payload)
+	if _, err := tmp.Write(enc); err != nil {
 		tmp.Close()
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
@@ -130,9 +192,57 @@ func (c *DiskCache) Put(key string, payload []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
+	name := filepath.Base(path)
+	c.lmu.Lock()
+	if old, ok := c.meta[name]; ok {
+		c.bytes -= old.size
+	}
+	c.clock++
+	c.meta[name] = &entryMeta{size: int64(len(enc)), atime: c.clock}
+	c.bytes += int64(len(enc))
+	c.lmu.Unlock()
 	c.writes.Add(1)
 	c.observe("write")
+	c.sweep(name)
 	return nil
+}
+
+// sweep evicts least-recently-used entries until the ledger fits maxBytes.
+// The caller holds c.mu (or, at open, has exclusive access), so no writer
+// races the removals. protect names the entry a just-finished Put installed,
+// which is never a victim: an in-flight write cannot be evicted by its own
+// sweep — an entry larger than the whole budget survives until the next Put.
+func (c *DiskCache) sweep(protect string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for {
+		c.lmu.Lock()
+		if c.bytes <= c.maxBytes {
+			c.lmu.Unlock()
+			return
+		}
+		victim := ""
+		var vm *entryMeta
+		for name, m := range c.meta {
+			if name == protect {
+				continue
+			}
+			if vm == nil || m.atime < vm.atime {
+				victim, vm = name, m
+			}
+		}
+		if vm == nil {
+			c.lmu.Unlock()
+			return
+		}
+		c.bytes -= vm.size
+		delete(c.meta, victim)
+		c.lmu.Unlock()
+		os.Remove(filepath.Join(c.dir, victim))
+		c.evictions.Add(1)
+		c.observe("evict")
+	}
 }
 
 // quarantineEntry moves a corrupt entry aside so it is never read again but
@@ -143,22 +253,30 @@ func (c *DiskCache) quarantineEntry(path string) {
 	if err := os.Rename(path, dst); err != nil {
 		os.Remove(path) // last resort: a corrupt entry must not be re-served
 	}
+	c.forget(filepath.Base(path))
 	c.quarantine.Add(1)
 	c.observe("quarantined")
 }
 
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
-	Hits, Misses, Writes, Quarantined int64
+	Hits, Misses, Writes, Quarantined, Evictions int64
+	// Bytes is the installed entries' current on-disk footprint — what the
+	// eviction budget is charged against.
+	Bytes int64
 }
 
 func (c *DiskCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
+	c.lmu.Lock()
+	bytes := c.bytes
+	c.lmu.Unlock()
 	return CacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(),
 		Writes: c.writes.Load(), Quarantined: c.quarantine.Load(),
+		Evictions: c.evictions.Load(), Bytes: bytes,
 	}
 }
 

@@ -274,6 +274,134 @@ func TestDiskCacheSweepRaceWithInflightWrites(t *testing.T) {
 	}
 }
 
+// A bounded cache evicts the coldest entries by logical access time — never
+// the entry a Put just installed — and its byte ledger stays equal to the
+// surviving files' footprint.
+func TestDiskCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(len(encodeEntry("k0", payload))) // equal-length keys → equal sizes
+	c, err := OpenDiskCacheLimit(dir, 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k0", "k1", "k2"} {
+		if err := c.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Bytes != 3*entrySize {
+		t.Fatalf("within budget: %+v", st)
+	}
+	// Touch k0 so k1 becomes the coldest, then overflow with k3.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before overflow")
+	}
+	if err := c.Put("k3", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("coldest entry k1 survived the sweep")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want only k1", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 3*entrySize {
+		t.Errorf("after overflow: %+v, want 1 eviction, %d bytes", st, 3*entrySize)
+	}
+	// The ledger matches the directory.
+	var disk int64
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), cacheExt) {
+			info, _ := f.Info()
+			disk += info.Size()
+		}
+	}
+	if disk != st.Bytes {
+		t.Errorf("ledger %d bytes, directory holds %d", st.Bytes, disk)
+	}
+}
+
+// An entry larger than the whole budget is never evicted by its own Put —
+// in-flight writes are not victims — but the next Put sweeps it.
+func TestDiskCacheOversizeEntrySurvivesOwnSweep(t *testing.T) {
+	dir := t.TempDir()
+	big := bytes.Repeat([]byte("y"), 4096)
+	c, err := OpenDiskCacheLimit(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("a Put evicted its own entry")
+	}
+	if err := c.Put("next", bytes.Repeat([]byte("z"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Error("over-budget entry survived the next sweep")
+	}
+	if _, ok := c.Get("next"); !ok {
+		t.Error("the sweeping Put lost its own entry")
+	}
+}
+
+// Reopening an over-budget directory with a limit sweeps it deterministically
+// (recency seeded in file-name order) before serving anything.
+func TestDiskCacheOpenSweepsOverBudgetDir(t *testing.T) {
+	dir := t.TempDir()
+	unbounded, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("w"), 200)
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		if err := unbounded.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entrySize := int64(len(encodeEntry("a", payload)))
+	c, err := OpenDiskCacheLimit(dir, 2*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 2 || st.Bytes != 2*entrySize {
+		t.Fatalf("open sweep: %+v, want 2 evictions, %d bytes", st, 2*entrySize)
+	}
+	survivors := 0
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			survivors++
+		}
+	}
+	if survivors != 2 {
+		t.Errorf("%d survivors, want 2", survivors)
+	}
+	// A second open of the same bytes picks the same survivors.
+	c2, err := OpenDiskCacheLimit(dir, 2*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		_, was := c.Get(k)
+		_, is := c2.Get(k)
+		if was != is {
+			t.Errorf("survivor set differs across reopens at %s", k)
+		}
+	}
+}
+
 // entryKey extracts the key line from a raw entry.
 func entryKey(t *testing.T, raw []byte) string {
 	t.Helper()

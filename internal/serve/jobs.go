@@ -22,6 +22,7 @@ type asyncJob struct {
 	tenant   string
 	key      string
 	budget   int
+	mapping  string
 	req      Request
 	log      *eventLog
 	// spans records the job's wall-time service spans for GET
@@ -142,8 +143,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rid := obs.RequestID(r.Context())
-	if body, ok := s.cacheGet(contentKey(sub.Endpoint, req, 0)); ok {
-		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, body); jerr != nil {
+	mapping := s.preferredMapping(sub.Endpoint, req)
+	if body, ok := s.cacheGet(contentKey(sub.Endpoint, req, 0, mapping)); ok {
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, mapping, body); jerr != nil {
 			s.writeError(w, jerr)
 		} else {
 			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done"})
@@ -164,7 +166,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if cached != nil {
 		// Degraded-key hit: the saturated answer is already on disk.
-		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, cached); jerr != nil {
+		if aj, jerr := s.bornDone(sub.Endpoint, req, tenantOf(r), rid, mapping, cached); jerr != nil {
 			s.writeError(w, jerr)
 		} else {
 			s.writeAccepted(w, JobAccepted{ID: aj.id, Status: "done", Degraded: s.cfg.DegradeKeep})
@@ -176,7 +178,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 // bornDone registers a job that is terminal on arrival (its result was
 // cached): journaled accepted+done so a restart re-serves it identically.
-func (s *Server) bornDone(endpoint string, req Request, tenant, rid string, body []byte) (*asyncJob, *JobError) {
+func (s *Server) bornDone(endpoint string, req Request, tenant, rid, mapping string, body []byte) (*asyncJob, *JobError) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -186,17 +188,19 @@ func (s *Server) bornDone(endpoint string, req Request, tenant, rid string, body
 			RetryAfter: s.adm.retryAfter(s.seq.Add(1))}
 	}
 	s.mu.Unlock()
-	key := contentKey(endpoint, req, 0)
+	key := contentKey(endpoint, req, 0, mapping)
 	aj := &asyncJob{id: jobID(s.seq.Add(1)), rid: rid, endpoint: endpoint, tenant: tenant,
-		key: key, req: req, log: newEventLog()}
+		key: key, mapping: mapping, req: req, log: newEventLog()}
 	ctx := obs.WithRequestID(context.Background(), rid)
 	if err := s.journalAppend(ctx, "born_done", journalRec{Op: "accepted", ID: aj.id,
-		RID: rid, Endpoint: endpoint, Tenant: tenant, Key: key, Req: &req}); err != nil {
+		RID: rid, Endpoint: endpoint, Tenant: tenant, Key: key, Mapping: mapping, Req: &req}); err != nil {
 		return nil, &JobError{Kind: KindInternal, Message: "job journal write failed: " + err.Error()}
 	}
 	// Best-effort: without the done record a restart re-runs the job, which
 	// re-derives the same cached result.
 	s.journalAppend(ctx, "born_done", journalRec{Op: "done", ID: aj.id, Key: key})
+	// A cache-hit-born job is still one observed request.
+	s.adaptObserve(endpoint, req, body)
 	aj.complete(body)
 	s.jobsMu.Lock()
 	s.jobs[aj.id] = aj

@@ -478,7 +478,7 @@ func TestDegradedSearchReportsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key := contentKey("/search", norm, 0); key == contentKey("/search", norm, 3) {
+	if key := contentKey("/search", norm, 0, ""); key == contentKey("/search", norm, 3, "") {
 		t.Error("degraded and full content keys collide")
 	}
 }

@@ -43,6 +43,7 @@ type journalRec struct {
 	Tenant   string   `json:",omitempty"` // accepted: fair-share account
 	Key      string   `json:",omitempty"` // accepted/done: content key
 	Budget   int      `json:",omitempty"` // accepted: degraded /search budget
+	Mapping  string   `json:",omitempty"` // accepted: adaptive mapping preference
 	Req      *Request `json:",omitempty"` // accepted: normalized request
 	Kind     ErrKind  `json:",omitempty"` // failed: error kind
 	Message  string   `json:",omitempty"` // failed: error message
@@ -60,9 +61,18 @@ type journalAppend struct {
 // accepts do not serialize on per-record fsyncs.
 type journal struct {
 	path string
+	dir  string
 	// compacted records whether open found anything to rewrite (a torn tail
 	// or droppable records) — surfaced as a metric by the server.
 	compacted bool
+	// compactEvery folds the journal in place after that many runtime
+	// appends (0 = only at open); appended counts records since the last
+	// fold. Both are touched only on the writer goroutine.
+	compactEvery int
+	appended     int
+	// onCompact, when set, observes each runtime threshold compaction. Set
+	// before the first Append; never mutated after.
+	onCompact func()
 	// onFsync, when set, observes each group-commit fsync's latency. Set
 	// before the first Append; never mutated after.
 	onFsync func(time.Duration)
@@ -127,6 +137,66 @@ func (j *journal) run() {
 		for _, b := range batch {
 			b.done <- err
 		}
+		j.appended += len(batch)
+		if err == nil {
+			j.maybeCompact()
+		}
+	}
+}
+
+// maybeCompact folds the journal in place once compactEvery records have been
+// appended since the last fold. It runs on the writer goroutine between
+// batches — no append is in flight — and the swap is crash-safe: the
+// compacted image goes to a temp file that stays open, so the rename either
+// installs it (and appends continue on that same fd) or fails and leaves the
+// journal untouched. Any error just skips the fold: compaction is an
+// optimization, never a reason to fail an acknowledged append.
+func (j *journal) maybeCompact() {
+	if j.compactEvery <= 0 || j.appended < j.compactEvery {
+		return
+	}
+	j.appended = 0
+	jobs, _, valid, torn, err := parseJournal(j.path)
+	if err != nil || len(torn) > 0 {
+		return // unreadable or foreign bytes: leave folding to the next open
+	}
+	buf, err := foldJobs(jobs)
+	if err != nil || buf.Len() >= len(valid) {
+		return // nothing to fold away
+	}
+	tmp, err := os.CreateTemp(j.dir, journalName+".*"+cacheTmpSuffix)
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	// tmp's fd now addresses the live journal, positioned at its end; swap
+	// it in under the same lock crash and Close take.
+	j.mu.Lock()
+	if j.dead {
+		j.mu.Unlock()
+		tmp.Close()
+		return
+	}
+	old := j.f
+	j.f = tmp
+	j.mu.Unlock()
+	old.Close()
+	if j.onCompact != nil {
+		j.onCompact()
 	}
 }
 
@@ -174,6 +244,7 @@ type recoveredJob struct {
 	tenant   string
 	key      string
 	budget   int
+	mapping  string
 	req      Request
 	// terminal state, if the job reached one before the crash:
 	done bool
@@ -186,8 +257,10 @@ func (r *recoveredJob) unfinished() bool { return !r.done && r.jerr == nil }
 // openJournal opens (creating if needed) the journal under dir, recovering
 // prior state first: it parses the valid prefix, quarantines a torn tail,
 // rewrites the compacted journal atomically, and returns every known job in
-// acceptance order plus the highest job sequence number seen.
-func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
+// acceptance order plus the highest job sequence number seen. compactEvery
+// additionally folds the journal in place after that many runtime appends
+// (0 disables runtime folding; open always compacts).
+func openJournal(dir string, compactEvery int) (*journal, []*recoveredJob, uint64, error) {
 	path := filepath.Join(dir, journalName)
 	jobs, maxSeq, valid, torn, err := parseJournal(path)
 	if err != nil {
@@ -202,13 +275,38 @@ func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
 	// Compact: keep, per job, the accepted record and (if any) the terminal
 	// record; drop "running" markers and the torn tail. Temp-file+rename, so
 	// a kill mid-compaction leaves either the old journal or the new one.
+	buf, err := foldJobs(jobs)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
+	}
+	compacted := len(jobs) > 0 || len(valid) != buf.Len() || len(torn) > 0
+	if compacted {
+		if err := atomicRewrite(dir, path, buf.Bytes()); err != nil {
+			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: open journal: %w", err)
+	}
+	j := &journal{path: path, dir: dir, compacted: compacted, compactEvery: compactEvery,
+		f: f, writes: make(chan journalAppend, 1024)}
+	j.wg.Add(1)
+	go j.run()
+	return j, jobs, maxSeq, nil
+}
+
+// foldJobs renders the compacted journal image: per job, its accepted record
+// and (if it reached one) a single terminal record — "running" markers,
+// duplicate terminals, and torn bytes fold away.
+func foldJobs(jobs []*recoveredJob) (*bytes.Buffer, error) {
 	var buf bytes.Buffer
 	for _, rj := range jobs {
 		acc := journalRec{Op: "accepted", ID: rj.id, RID: rj.rid, Endpoint: rj.endpoint,
-			Tenant: rj.tenant, Key: rj.key, Budget: rj.budget, Req: &rj.req}
+			Tenant: rj.tenant, Key: rj.key, Budget: rj.budget, Mapping: rj.mapping, Req: &rj.req}
 		b, err := json.Marshal(acc)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
+			return nil, err
 		}
 		buf.Write(append(b, '\n'))
 		var term *journalRec
@@ -221,41 +319,36 @@ func openJournal(dir string) (*journal, []*recoveredJob, uint64, error) {
 		if term != nil {
 			b, err := json.Marshal(*term)
 			if err != nil {
-				return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
+				return nil, err
 			}
 			buf.Write(append(b, '\n'))
 		}
 	}
-	compacted := len(jobs) > 0 || len(valid) != buf.Len() || len(torn) > 0
-	if compacted {
-		tmp, err := os.CreateTemp(dir, journalName+".*"+cacheTmpSuffix)
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
-		}
-		defer os.Remove(tmp.Name())
-		if _, err := tmp.Write(buf.Bytes()); err != nil {
-			tmp.Close()
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
-		}
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
-		}
-		if err := os.Rename(tmp.Name(), path); err != nil {
-			return nil, nil, 0, fmt.Errorf("serve: journal compact: %w", err)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return &buf, nil
+}
+
+// atomicRewrite replaces path with data via temp-file+rename inside dir — a
+// kill at any instant leaves the old bytes or the new bytes, never a mix.
+// The job journal's open-time compaction and the adapt decision journal both
+// funnel their rewrites through here.
+func atomicRewrite(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*"+cacheTmpSuffix)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("serve: open journal: %w", err)
+		return err
 	}
-	j := &journal{path: path, compacted: compacted, f: f, writes: make(chan journalAppend, 1024)}
-	j.wg.Add(1)
-	go j.run()
-	return j, jobs, maxSeq, nil
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // parseJournal reads the journal and folds its records into per-job state.
@@ -288,7 +381,7 @@ loop:
 				break loop // a request-less accept is corrupt: torn tail
 			}
 			rj := &recoveredJob{id: rec.ID, rid: rec.RID, endpoint: rec.Endpoint,
-				tenant: rec.Tenant, key: rec.Key, budget: rec.Budget, req: *rec.Req}
+				tenant: rec.Tenant, key: rec.Key, budget: rec.Budget, mapping: rec.Mapping, req: *rec.Req}
 			if _, dup := byID[rec.ID]; !dup {
 				byID[rec.ID] = rj
 				jobs = append(jobs, rj)

@@ -43,7 +43,7 @@ func TestJournalQuarantinesTornTail(t *testing.T) {
 	torn := `{"Op":"accepted","ID":"j000000000000dead","Endpoint":"/run","Req":{"GS":tr` // cut mid-token
 	writeJournal(t, dir, finished, finishedDone, unfinished, running, torn)
 
-	j, jobs, maxSeq, err := openJournal(dir)
+	j, jobs, maxSeq, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestJournalQuarantinesTornTail(t *testing.T) {
 		t.Error("compacted journal does not end on a record boundary")
 	}
 	j.Close()
-	j2, jobs2, _, err := openJournal(dir)
+	j2, jobs2, _, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestJournalTreatsRequestlessAcceptAsTorn(t *testing.T) {
 	bad := rec(t, journalRec{Op: "accepted", ID: jobID(9), Endpoint: "/run", Key: "k9"})
 	writeJournal(t, dir, good, bad)
 
-	j, jobs, _, err := openJournal(dir)
+	j, jobs, _, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestJournalAppendRoundTrip(t *testing.T) {
 	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	j, jobs, _, err := openJournal(dir)
+	j, jobs, _, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestJournalAppendRoundTrip(t *testing.T) {
 		t.Error("append after Close succeeded")
 	}
 
-	j2, jobs2, maxSeq, err := openJournal(dir)
+	j2, jobs2, maxSeq, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,5 +149,64 @@ func TestJournalAppendRoundTrip(t *testing.T) {
 	}
 	if rj.jerr == nil || rj.jerr.Kind != KindPanic || rj.jerr.Attempts != 3 {
 		t.Errorf("recovered error = %+v, want the panic failure", rj.jerr)
+	}
+}
+
+// Runtime threshold compaction: once compactEvery records have been appended,
+// the writer folds the journal in place — "running" markers drop, terminal
+// state survives, appends continue seamlessly, and recovery still sees every
+// job.
+func TestJournalCompactsAtThreshold(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, jobs, _, err := openJournal(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", len(jobs))
+	}
+	compactions := 0
+	j.onCompact = func() { compactions++ } // writer goroutine only; reads below happen after Close
+
+	req := Request{GS: true, Procs: 2, Mode: "ctr", Entry: "gs_iteration"}
+	// Sequential appends: accepted + two running markers + done crosses the
+	// threshold of 4 and folds to two lines; the next accept lands after.
+	for _, r := range []journalRec{
+		{Op: "accepted", ID: jobID(1), Endpoint: "/run", Key: "k1", Req: &req},
+		{Op: "running", ID: jobID(1)},
+		{Op: "running", ID: jobID(1)},
+		{Op: "done", ID: jobID(1), Key: "k1"},
+		{Op: "accepted", ID: jobID(2), Endpoint: "/run", Key: "k2", Req: &req},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	if compactions != 1 {
+		t.Errorf("%d threshold compactions, want 1", compactions)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(raw, []byte("\n"))
+	if lines != 3 { // job 1 accepted+done, job 2 accepted
+		t.Errorf("journal holds %d lines after fold, want 3:\n%s", lines, raw)
+	}
+	if bytes.Contains(raw, []byte(`"running"`)) {
+		t.Error("running markers survived the fold")
+	}
+	// Recovery reads the folded file like any other journal.
+	j2, jobs2, maxSeq, err := openJournal(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs2) != 2 || !jobs2[0].done || !jobs2[1].unfinished() || maxSeq != 2 {
+		t.Fatalf("recovered %d jobs (maxSeq %d) after fold, want done j1 + unfinished j2", len(jobs2), maxSeq)
 	}
 }

@@ -52,17 +52,24 @@ type serverMetrics struct {
 	// Result cache: lookups are counted at the serve call sites, hits and
 	// misses inside the DiskCache — two independent paths that must add up.
 	cacheLookups obs.Counter
-	cacheOps     obs.Counter // op: hit, miss, write, quarantined
+	cacheOps     obs.Counter // op: hit, miss, write, quarantined, evict
+	cacheBytes   obs.Gauge   // installed result bytes on disk
 
-	// Job journal.
+	// Job and decision journals.
 	journalAppends     obs.Counter // op: accepted, running, done, failed
 	journalErrors      obs.Counter // site: accept, running, finalize, born_done
 	journalFsync       obs.Histogram
-	journalCompactions obs.Counter
+	journalCompactions obs.Counter // cause: open, threshold, adapt_open, adapt_threshold
 
 	// Async-job lifecycle and event streams.
 	jobs   obs.Counter // state: accepted, recovered, requeued, done, failed
 	events obs.Counter // outcome: published, dropped_after_terminal, dropped_overflow
+
+	// The adaptation controller, mirrored against Stats.Adapt by VerifyScrape.
+	adaptObs      obs.Counter // completed /run observations fed to the profiles
+	adaptTriggers obs.Counter // cause: shift
+	adaptSearches obs.Counter // outcome: switched, held, failed, panicked, canceled
+	adaptSwitches obs.Counter // preference hot-swaps (== searches{switched})
 }
 
 func newServerMetrics() *serverMetrics {
@@ -105,6 +112,8 @@ func newServerMetrics() *serverMetrics {
 			"result-cache lookups issued by the server"),
 		cacheOps: r.NewCounter("pdserve_cache_ops_total",
 			"result-cache operations, by kind", "op"),
+		cacheBytes: r.NewGauge("pdserve_cache_bytes",
+			"installed result-cache bytes on disk"),
 		journalAppends: r.NewCounter("pdserve_journal_appends_total",
 			"journal records appended durably, by op", "op"),
 		journalErrors: r.NewCounter("pdserve_journal_errors_total",
@@ -112,25 +121,40 @@ func newServerMetrics() *serverMetrics {
 		journalFsync: r.NewHistogram("pdserve_journal_fsync_seconds",
 			"journal group-commit fsync latency", nil),
 		journalCompactions: r.NewCounter("pdserve_journal_compactions_total",
-			"journal compaction rewrites performed on open"),
+			"journal compaction rewrites, by journal and trigger", "cause"),
 		jobs: r.NewCounter("pdserve_jobs_total",
 			"async-job lifecycle transitions, by state", "state"),
 		events: r.NewCounter("pdserve_events_total",
 			"job-stream event publishes, by outcome", "outcome"),
+		adaptObs: r.NewCounter("pdserve_adapt_observations_total",
+			"completed /run requests observed by the adaptation controller"),
+		adaptTriggers: r.NewCounter("pdserve_adapt_triggers_total",
+			"re-decomposition searches triggered, by cause", "cause"),
+		adaptSearches: r.NewCounter("pdserve_adapt_searches_total",
+			"re-decomposition searches settled, by outcome", "outcome"),
+		adaptSwitches: r.NewCounter("pdserve_adapt_switches_total",
+			"mapping-preference hot-swaps applied"),
 	}
 	// Pre-touch the fixed label spaces so every scrape exposes the whole
 	// catalog (an absent family parses as 0 but hides the schema) and so
 	// equal workloads produce identical sample sets.
 	for _, c := range []obs.Counter{m.admitted, m.degraded, m.completed,
 		m.failed, m.panics, m.retries, m.busySeconds, m.cacheLookups,
-		m.journalCompactions} {
+		m.adaptObs, m.adaptSwitches} {
 		c.Add(0)
 	}
 	for _, cause := range []string{"queue_full", "fair_share", "doomed", "draining"} {
 		m.sheds.Add(0, cause)
 	}
-	for _, op := range []string{"hit", "miss", "write", "quarantined"} {
+	for _, op := range []string{"hit", "miss", "write", "quarantined", "evict"} {
 		m.cacheOps.Add(0, op)
+	}
+	for _, cause := range []string{"open", "threshold", "adapt_open", "adapt_threshold"} {
+		m.journalCompactions.Add(0, cause)
+	}
+	m.adaptTriggers.Add(0, "shift")
+	for _, outcome := range []string{"switched", "held", "failed", "panicked", "canceled"} {
+		m.adaptSearches.Add(0, outcome)
 	}
 	for _, op := range []string{"accepted", "running", "done", "failed"} {
 		m.journalAppends.Add(0, op)
@@ -144,6 +168,7 @@ func newServerMetrics() *serverMetrics {
 	m.queueDepth.Set(0)
 	m.queueEstWait.Set(0)
 	m.workersBusy.Set(0)
+	m.cacheBytes.Set(0)
 	return m
 }
 
@@ -281,6 +306,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	s.m.queueDepth.Set(float64(queued))
 	s.m.queueEstWait.Set(float64(waitMS) / 1000)
 	s.m.workersBusy.Set(float64(s.busyWorkers.Load()))
+	s.m.cacheBytes.Set(float64(s.cache.Stats().Bytes))
 	return s.m.reg.WritePrometheus(w)
 }
 
@@ -368,6 +394,30 @@ func VerifyScrape(sc *obs.Scrape, st Stats) error {
 	want("pdserve_cache_ops_total", op("miss"), float64(st.Cache.Misses))
 	want("pdserve_cache_ops_total", op("write"), float64(st.Cache.Writes))
 	want("pdserve_cache_ops_total", op("quarantined"), float64(st.Cache.Quarantined))
+	want("pdserve_cache_ops_total", op("evict"), float64(st.Cache.Evictions))
+	want("pdserve_cache_bytes", nil, float64(st.Cache.Bytes))
+	want("pdserve_journal_compactions_total", cause("open"), float64(st.Journal.OpenCompactions))
+	want("pdserve_journal_compactions_total", cause("threshold"), float64(st.Journal.ThresholdCompactions))
+	want("pdserve_journal_compactions_total", cause("adapt_open"), float64(st.Journal.AdaptOpenCompactions))
+	want("pdserve_journal_compactions_total", cause("adapt_threshold"), float64(st.Journal.AdaptThresholdCompactions))
+
+	// The adaptation plane: scrape vs the controller's own counters, plus the
+	// internal identities — every trigger settles as exactly one search
+	// outcome, and every switch is a switched search.
+	outcome := func(o string) map[string]string { return map[string]string{"outcome": o} }
+	want("pdserve_adapt_observations_total", nil, float64(st.Adapt.Observations))
+	want("pdserve_adapt_triggers_total", nil, float64(st.Adapt.Triggers))
+	want("pdserve_adapt_searches_total", outcome("switched"), float64(st.Adapt.Switched))
+	want("pdserve_adapt_searches_total", outcome("held"), float64(st.Adapt.Held))
+	want("pdserve_adapt_searches_total", outcome("failed"), float64(st.Adapt.Failed))
+	want("pdserve_adapt_searches_total", outcome("panicked"), float64(st.Adapt.Panicked))
+	want("pdserve_adapt_searches_total", outcome("canceled"), float64(st.Adapt.Canceled))
+	if trig, settledSearches := sc.Sum("pdserve_adapt_triggers_total", nil), sc.Sum("pdserve_adapt_searches_total", nil); trig != settledSearches {
+		flunk("adapt triggers %v != settled searches %v", trig, settledSearches)
+	}
+	if sw, won := sc.Sum("pdserve_adapt_switches_total", nil), sc.Sum("pdserve_adapt_searches_total", outcome("switched")); sw != won {
+		flunk("adapt switches %v != searches{switched} %v", sw, won)
+	}
 
 	// Conservation: every admitted or requeued job settled exactly once.
 	admitted := sc.Sum("pdserve_admitted_total", nil)

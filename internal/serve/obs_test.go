@@ -49,10 +49,10 @@ func scrapeURL(t *testing.T, base string) *obs.Scrape {
 func TestMetricsReconcileAfterMixedWorkload(t *testing.T) {
 	s, hs := newTestServer(t, Config{Workers: 2, PanicEvery: 3, CacheDir: t.TempDir()})
 
-	post(t, hs.URL+"/run", gsRun)         // miss -> evaluate -> write
-	post(t, hs.URL+"/run", gsRun)         // hit
-	post(t, hs.URL+"/compile", gsRun)     // miss
-	post(t, hs.URL+"/run", `{"bad json`)  // 400 invalid
+	post(t, hs.URL+"/run", gsRun)                      // miss -> evaluate -> write
+	post(t, hs.URL+"/run", gsRun)                      // hit
+	post(t, hs.URL+"/compile", gsRun)                  // miss
+	post(t, hs.URL+"/run", `{"bad json`)               // 400 invalid
 	post(t, hs.URL+"/run", `{"GS":true,"Source":"x"}`) // 400 invalid
 
 	// One typed program failure (422).
@@ -346,7 +346,10 @@ func TestCauseLabelsStayInContract(t *testing.T) {
 			t.Errorf("kind %s derives cause %q, not allowed for code %s", k, e.causeLabel(), code)
 		}
 	}
-	for _, explicit := range []struct{ kind ErrKind; cause string }{
+	for _, explicit := range []struct {
+		kind  ErrKind
+		cause string
+	}{
 		{KindShed, "fair_share"}, {KindDeadline, "doomed"},
 	} {
 		e := &JobError{Kind: explicit.kind, cause: explicit.cause}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"procdecomp/internal/adapt"
 	"procdecomp/internal/machine"
 	"procdecomp/internal/obs"
 )
@@ -46,6 +47,19 @@ type Config struct {
 	// durable async-job journal (jobs.journal in the same directory). With
 	// no CacheDir, /jobs still works but jobs do not survive a restart.
 	CacheDir string
+	// CacheMaxBytes caps the disk result cache's installed footprint;
+	// least-recently-used entries are evicted past it (0 = unbounded).
+	CacheMaxBytes int64
+	// JournalCompactEvery folds the job journal (and the adapt decision
+	// journal) in place after that many runtime appends, on top of the
+	// always-on open-time compaction (default 4096; negative disables
+	// runtime folding).
+	JournalCompactEvery int
+	// Adapt configures the online workload-shift controller. When enabled,
+	// completed /run requests feed per-scenario workload profiles, a
+	// sustained shift triggers a bounded background re-decomposition search,
+	// and the winning mapping is applied to subsequent /run requests.
+	Adapt adapt.Config
 	// FairShareAt is the queue occupancy fraction at which per-tenant
 	// fair-share caps engage (default 0.5): past it, no tenant (X-Tenant
 	// header; empty means the anonymous tenant) may hold more than an equal
@@ -116,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdmitSeed == 0 {
 		c.AdmitSeed = 1
+	}
+	switch {
+	case c.JournalCompactEvery == 0:
+		c.JournalCompactEvery = 4096
+	case c.JournalCompactEvery < 0:
+		c.JournalCompactEvery = 0
 	}
 	if c.LogLines <= 0 {
 		c.LogLines = 4096
@@ -218,6 +238,11 @@ type job struct {
 	// async links the queue job to its durable /jobs record (nil for the
 	// synchronous endpoints).
 	async *asyncJob
+	// mapping, when set, is the adaptation controller's preferred
+	// decomposition at admission time: the evaluation retargets the
+	// program's dist declaration to it, and the content key is qualified by
+	// it so results under different preferences never collide.
+	mapping string
 	// recovered marks a job re-enqueued from the journal on restart; it
 	// bypasses admission accounting (it was admitted in a previous life).
 	recovered  bool
@@ -273,6 +298,17 @@ type Stats struct {
 	Jobs      JobStats
 	Queue     QueueStats
 	Cache     CacheStats
+	Journal   JournalStats
+	Adapt     adapt.Stats
+}
+
+// JournalStats counts compaction rewrites per journal and trigger — the
+// independent ledger behind pdserve_journal_compactions_total.
+type JournalStats struct {
+	OpenCompactions           int64 // job journal folds at open
+	ThresholdCompactions      int64 // job journal folds at the append threshold
+	AdaptOpenCompactions      int64 // decision journal folds at open
+	AdaptThresholdCompactions int64 // decision journal folds at the threshold
 }
 
 // Server is the fault-tolerant front of the toolchain. Create with New,
@@ -282,6 +318,14 @@ type Server struct {
 	cache   *DiskCache
 	adm     *admission
 	journal *journal
+
+	// The adaptation plane: the shift controller, its durable decision
+	// journal, and the in-memory decision list behind GET /adapt.
+	adapt          *adapt.Controller
+	adaptJournal   *decisionJournal
+	adaptMu        sync.Mutex
+	adaptDecisions []adapt.Decision
+	adaptDecLines  []byte // NDJSON of this process's decisions, append-only
 
 	// The observability plane: the metric catalog, the structured-log ring
 	// behind /logz, and the logger every component writes through.
@@ -328,6 +372,11 @@ type Server struct {
 	jobsRequeued  atomic.Int64
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
+
+	compactOpen           atomic.Int64
+	compactThreshold      atomic.Int64
+	compactAdaptOpen      atomic.Int64
+	compactAdaptThreshold atomic.Int64
 }
 
 // New starts a server: opens the cache and the job journal (if configured),
@@ -343,8 +392,10 @@ func New(cfg Config) (*Server, error) {
 	s.ridSalt = uint64(time.Now().UnixNano())
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
 	var recovered []*recoveredJob
+	var restoredStates []adapt.State
+	var restoredSeq uint64
 	if cfg.CacheDir != "" {
-		c, err := OpenDiskCache(cfg.CacheDir)
+		c, err := OpenDiskCacheLimit(cfg.CacheDir, cfg.CacheMaxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -353,17 +404,42 @@ func New(cfg Config) (*Server, error) {
 		// once a handler runs, both after New returns.
 		c.onOp = func(op string) { s.m.cacheOps.Inc(op) }
 		s.cache = c
-		j, jobs, maxSeq, err := openJournal(cfg.CacheDir)
+		j, jobs, maxSeq, err := openJournal(cfg.CacheDir, cfg.JournalCompactEvery)
 		if err != nil {
 			return nil, err
 		}
 		j.onFsync = func(d time.Duration) { s.m.journalFsync.Observe(d.Seconds()) }
 		if j.compacted {
-			s.m.journalCompactions.Inc()
+			s.compactOpen.Add(1)
+			s.m.journalCompactions.Inc("open")
+		}
+		j.onCompact = func() {
+			s.compactThreshold.Add(1)
+			s.m.journalCompactions.Inc("threshold")
 		}
 		s.journal = j
 		s.seq.Store(maxSeq)
 		recovered = jobs
+		if cfg.Adapt.Enabled {
+			dj, states, seq, err := openDecisionJournal(cfg.CacheDir, cfg.JournalCompactEvery)
+			if err != nil {
+				return nil, err
+			}
+			if dj.compacted {
+				s.compactAdaptOpen.Add(1)
+				s.m.journalCompactions.Inc("adapt_open")
+			}
+			dj.onCompact = func() {
+				s.compactAdaptThreshold.Add(1)
+				s.m.journalCompactions.Inc("adapt_threshold")
+			}
+			s.adaptJournal = dj
+			restoredStates, restoredSeq = states, seq
+		}
+	}
+	if cfg.Adapt.Enabled {
+		s.adapt = adapt.New(cfg.Adapt, restoredStates, restoredSeq,
+			adapt.Hooks{Persist: s.persistDecision, Metric: s.adaptMetric})
 	}
 	// Size the queue for the admission depth plus every recovered re-run:
 	// reserved submissions and the recovery sweep can then never block on
@@ -387,7 +463,7 @@ func (s *Server) recover(jobs []*recoveredJob) {
 		s.jobsRecovered.Add(1)
 		s.m.jobs.Inc("recovered")
 		aj := &asyncJob{id: rj.id, rid: rj.rid, endpoint: rj.endpoint, tenant: rj.tenant,
-			key: rj.key, budget: rj.budget, req: rj.req, log: newEventLog()}
+			key: rj.key, budget: rj.budget, mapping: rj.mapping, req: rj.req, log: newEventLog()}
 		s.publish(aj, Event{Type: "accepted"})
 		s.jobs[aj.id] = aj
 		switch {
@@ -410,7 +486,7 @@ func (s *Server) recover(jobs []*recoveredJob) {
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultDeadline)
 		j := &job{
 			seq: s.seq.Add(1), endpoint: rj.endpoint, req: rj.req, key: rj.key,
-			tenant: rj.tenant, budget: rj.budget, async: aj, recovered: true, rid: rj.rid,
+			tenant: rj.tenant, budget: rj.budget, mapping: rj.mapping, async: aj, recovered: true, rid: rj.rid,
 			enqueuedAt: time.Now(), ctx: obs.WithRequestID(ctx, rj.rid), cancel: cancel,
 			done: make(chan struct{}),
 		}
@@ -426,7 +502,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Accepted: s.accepted.Load(), Shed: s.shed.Load(),
 		FairShed: s.fairShed.Load(), Doomed: s.doomed.Load(), Degraded: s.degraded.Load(),
-		Rejected: s.rejected.Load(),
+		Rejected:  s.rejected.Load(),
 		Completed: s.completed.Load(), Failed: s.failed.Load(),
 		Panics: s.panics.Load(), Retries: s.retries.Load(),
 		Jobs: JobStats{
@@ -436,6 +512,13 @@ func (s *Server) Stats() Stats {
 		Queue: QueueStats{Depth: s.cfg.QueueDepth, Queued: queued,
 			DrainRatePerSec: rate, EstWaitMS: wait},
 		Cache: s.cache.Stats(),
+		Journal: JournalStats{
+			OpenCompactions:           s.compactOpen.Load(),
+			ThresholdCompactions:      s.compactThreshold.Load(),
+			AdaptOpenCompactions:      s.compactAdaptOpen.Load(),
+			AdaptThresholdCompactions: s.compactAdaptThreshold.Load(),
+		},
+		Adapt: s.adaptStats(),
 	}
 }
 
@@ -508,7 +591,8 @@ func (s *Server) submit(endpoint string, req Request, tenant string, opts submit
 		return nil, nil, dec.shed
 	}
 
-	key := contentKey(endpoint, req, dec.budget)
+	mapping := s.preferredMapping(endpoint, req)
+	key := contentKey(endpoint, req, dec.budget, mapping)
 	if dec.budget > 0 {
 		// A saturated server may already hold the degraded answer; serving
 		// it costs no pool time, so give the slot back. A traced request
@@ -527,16 +611,16 @@ func (s *Server) submit(endpoint string, req Request, tenant string, opts submit
 	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
 	j := &job{
 		seq: seq, endpoint: endpoint, req: req, key: key, tenant: tenant,
-		budget: dec.budget, enqueuedAt: time.Now(), rid: opts.rid, spans: opts.spans,
+		budget: dec.budget, mapping: mapping, enqueuedAt: time.Now(), rid: opts.rid, spans: opts.spans,
 		wantTrace: opts.trace,
 		ctx:       obs.WithRequestID(ctx, opts.rid), cancel: cancel, done: make(chan struct{}),
 	}
 	if opts.async {
 		aj := &asyncJob{id: jobID(seq), rid: opts.rid, endpoint: endpoint, tenant: tenant,
-			key: key, budget: dec.budget, req: req, spans: opts.spans, log: newEventLog()}
+			key: key, budget: dec.budget, mapping: mapping, req: req, spans: opts.spans, log: newEventLog()}
 		if err := s.journalAppend(j.ctx, "accept", journalRec{Op: "accepted", ID: aj.id,
 			RID: opts.rid, Endpoint: endpoint, Tenant: tenant, Key: key,
-			Budget: dec.budget, Req: &req}); err != nil {
+			Budget: dec.budget, Mapping: mapping, Req: &req}); err != nil {
 			cancel()
 			s.adm.release(tenant)
 			s.admissions.Done()
@@ -664,6 +748,11 @@ func (s *Server) runJob(j *job) {
 			if s.cache != nil {
 				s.cache.Put(j.key, out)
 			}
+			if !j.recovered {
+				// Recovered jobs were observed in a previous life; feeding
+				// them again would double-count the workload profile.
+				s.adaptObserve(j.endpoint, j.req, out)
+			}
 			return
 		}
 		var pe *panicError
@@ -704,8 +793,8 @@ func (s *Server) attempt(j *job) (out []byte, err error) {
 		panic(fmt.Sprintf("chaos: injected panic on job %d", j.seq))
 	}
 	var hooks *evalHooks
-	if j.async != nil || j.budget > 0 || j.wantTrace {
-		hooks = &evalHooks{budget: j.budget}
+	if j.async != nil || j.budget > 0 || j.wantTrace || j.mapping != "" {
+		hooks = &evalHooks{budget: j.budget, mapping: j.mapping}
 		if j.async != nil {
 			hooks.emit = func(ev Event) { s.jemit(j, ev) }
 		}
@@ -799,6 +888,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 		s.workers.Wait()
 		s.abort()
+		// The controller closes after the pool has drained (so every finished
+		// job's observation landed) and before the decision journal: Close
+		// cancels an in-flight search and settles queued triggers as
+		// "canceled" decisions, which must still reach disk.
+		if s.adapt != nil {
+			s.adapt.Close()
+		}
+		s.adaptJournal.Close()
 		s.journal.Close()
 	})
 	return err
@@ -820,6 +917,7 @@ func (s *Server) crash() {
 	if s.journal != nil {
 		s.journal.crash()
 	}
+	s.adaptJournal.crash()
 	s.abort()
 }
 
@@ -836,6 +934,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("GET /jobs/{id}/events", s.instrument("/jobs/{id}/events", s.handleJobEvents))
 	mux.HandleFunc("GET /jobs/{id}/trace", s.instrument("/jobs/{id}/trace", s.handleJobTrace))
+	mux.HandleFunc("GET /adapt", s.instrument("/adapt", s.handleAdapt))
+	mux.HandleFunc("GET /adapt/journal", s.instrument("/adapt/journal", s.handleAdaptJournal))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /logz", s.instrument("/logz", s.handleLogz))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -897,9 +997,16 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 
 	// Cache hits bypass admission entirely: they cost no pool time, so a
 	// saturated queue must not shed them. Full-fidelity entries are checked
-	// first — a hit beats a degraded recompute.
+	// first — a hit beats a degraded recompute. The key carries the current
+	// mapping preference, so a re-decomposition switch never re-serves the
+	// old decomposition's bytes.
+	mapping := s.preferredMapping(endpoint, req)
 	if !wantTrace {
-		if body, ok := s.cacheGet(contentKey(endpoint, req, 0)); ok {
+		if body, ok := s.cacheGet(contentKey(endpoint, req, 0, mapping)); ok {
+			// A hit is still one observed request: the workload profile must
+			// advance whether or not the pool ran.
+			s.adaptObserve(endpoint, req, body)
+			setMappingHeader(w, mapping)
 			s.writeResult(w, body, "hit", 0)
 			return
 		}
@@ -925,6 +1032,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, endpoint string)
 		s.writeError(w, j.jerr)
 		return
 	}
+	setMappingHeader(w, j.mapping)
 	if wantTrace {
 		doc, err := obs.StitchChrome(rid, spans.Epoch(), spans.Spans(), j.chrome)
 		if err != nil {

@@ -281,7 +281,7 @@ func bodyKey(t *testing.T, endpoint, body string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return contentKey(endpoint, req, 0)
+	return contentKey(endpoint, req, 0, "")
 }
 
 // waitFor polls cond with a hard bound; the soak's promise is that nothing
